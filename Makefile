@@ -1,0 +1,46 @@
+# Convenience targets for the reproduction. Everything is plain `go`;
+# nothing here is required — see README.md for the underlying commands.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz results examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark iteration per table/figure/ablation: fast sanity pass.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x ./...
+
+fuzz:
+	$(GO) test ./internal/workload/ -run FuzzReadSWF -fuzz FuzzReadSWF -fuzztime 30s
+
+# The paper-scale evaluation: 2880 simulations, a few minutes.
+results:
+	$(GO) run ./cmd/riskbench -jobs 5000 -out results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/ranking
+	$(GO) run ./examples/commodity
+	$(GO) run ./examples/bidbased
+	$(GO) run ./examples/apriori
+	$(GO) run ./examples/swfimport
+	$(GO) run ./examples/capacity
+
+clean:
+	rm -rf results

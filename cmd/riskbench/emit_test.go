@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+func smallResults(t *testing.T) *experiment.Results {
+	t.Helper()
+	cfg := experiment.DefaultSuiteConfig(economy.Commodity, false)
+	cfg.Jobs = 60
+	cfg.Nodes = 16
+	synth := workload.DefaultSynthConfig()
+	synth.Widths = []int{1, 2, 4, 8, 16}
+	synth.WidthWeights = []float64{0.3, 0.25, 0.2, 0.15, 0.1}
+	cfg.Synth = &synth
+	res, err := experiment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEmitWritesFullFileTree(t *testing.T) {
+	res := smallResults(t)
+	dir := t.TempDir()
+	refs, err := emit(res, economy.Commodity, "Set A", "all", dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 separate + 4 integrated3 + 1 integrated4 panels.
+	if len(refs) != 9 {
+		t.Fatalf("%d panel refs, want 9", len(refs))
+	}
+	wantFiles := []string{"plot.dat", "plot.gp", "plot.csv", "plot.svg", "plot.txt", "summary.txt"}
+	for _, ref := range refs {
+		for _, f := range wantFiles {
+			path := filepath.Join(dir, ref.Dir, f)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("panel %q missing %s: %v", ref.Title, f, err)
+			}
+			if len(data) == 0 {
+				t.Fatalf("panel %q has empty %s", ref.Title, f)
+			}
+		}
+	}
+	// Ranking written alongside the integrated-4 panel.
+	ranking, err := os.ReadFile(filepath.Join(dir, "commodity", "set-a", "integrated4", "ranking.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(ranking), "Ranking by best performance") {
+		t.Error("ranking.txt missing performance ranking")
+	}
+	// The index embeds every panel.
+	if err := writeIndex(dir, refs); err != nil {
+		t.Fatal(err)
+	}
+	index, err := os.ReadFile(filepath.Join(dir, "index.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(index), "<figure>"); got != 9 {
+		t.Errorf("index has %d figures, want 9", got)
+	}
+}
+
+func TestEmitSeparateOnly(t *testing.T) {
+	res := smallResults(t)
+	dir := t.TempDir()
+	refs, err := emit(res, economy.Commodity, "Set A", "separate", dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 4 {
+		t.Fatalf("%d refs for separate-only, want 4", len(refs))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "commodity", "set-a", "integrated4")); !os.IsNotExist(err) {
+		t.Error("integrated4 written despite separate-only")
+	}
+}

@@ -1,0 +1,284 @@
+// Command riskbench regenerates the paper's evaluation: it runs the full
+// 12-scenario × 6-value × 5-policy grid for each requested economic model
+// and estimate-inaccuracy Set, then writes risk analysis plot data (gnuplot
+// blocks, CSV, SVG, ASCII) and Table II-style summaries for:
+//
+//	Figure 3 / 6  separate risk analysis of each objective
+//	Figure 4 / 7  integrated risk analysis of each three-objective combination
+//	Figure 5 / 8  integrated risk analysis of all four objectives
+//
+// Output lands under -out (default results/), one directory per
+// model/set/figure panel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/economy"
+	"repro/internal/experiment"
+	"repro/internal/plot"
+	"repro/internal/risk"
+)
+
+func main() {
+	var (
+		modelFlag = flag.String("model", "both", "commodity, bid, or both")
+		setFlag   = flag.String("set", "both", "A, B, or both")
+		analysis  = flag.String("analysis", "all", "separate, integrated3, integrated4, or all")
+		jobs      = flag.Int("jobs", 5000, "trace length")
+		nodes     = flag.Int("nodes", 128, "cluster size")
+		workers   = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		reps      = flag.Int("reps", 1, "replications per cell (independent seeds, averaged)")
+		scenario  = flag.String("scenario", "", "restrict to one Table VI scenario by name")
+		outDir    = flag.String("out", "results", "output directory")
+		ascii     = flag.Bool("ascii", false, "also print ASCII plots to stdout")
+	)
+	flag.Parse()
+
+	models, err := parseModels(*modelFlag)
+	if err != nil {
+		fatal(err)
+	}
+	sets, err := parseSets(*setFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	var panels []panelRef
+	for _, m := range models {
+		for _, setB := range sets {
+			cfg := experiment.DefaultSuiteConfig(m, setB)
+			cfg.Jobs = *jobs
+			cfg.Nodes = *nodes
+			cfg.Workers = *workers
+			cfg.Replications = *reps
+			if *scenario != "" {
+				cfg.ScenarioFilter = []string{*scenario}
+			}
+			start := time.Now()
+			res, err := experiment.Run(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("== %s / %s: %d simulations in %v\n",
+				m, cfg.SetName(), len(res.Scenarios)*6*len(res.Policies), time.Since(start).Round(time.Millisecond))
+			refs, err := emit(res, m, cfg.SetName(), *analysis, *outDir, *ascii)
+			if err != nil {
+				fatal(err)
+			}
+			panels = append(panels, refs...)
+			if err := writeResultsJSON(res, m, cfg.SetName(), *outDir); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if err := writeIndex(*outDir, panels); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d panels under %s (open %s)\n", len(panels), *outDir, filepath.Join(*outDir, "index.html"))
+}
+
+// panelRef names one emitted figure panel for the HTML index.
+type panelRef struct {
+	Title string
+	Dir   string // relative to the output root
+}
+
+// writeIndex emits a browsable index.html embedding every panel's SVG.
+func writeIndex(outDir string, panels []panelRef) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">")
+	b.WriteString("<title>Risk analysis figures</title>")
+	b.WriteString("<style>body{font-family:sans-serif;margin:24px}figure{display:inline-block;margin:12px;border:1px solid #ddd;padding:8px}figcaption{font-size:13px;max-width:480px}</style>")
+	b.WriteString("</head><body>\n<h1>Integrated risk analysis — regenerated figures</h1>\n")
+	b.WriteString("<p>Each panel links its gnuplot data (plot.dat/plot.gp), CSV, ASCII rendering, and Table II summary.</p>\n")
+	for _, p := range panels {
+		dir := filepath.ToSlash(p.Dir)
+		fmt.Fprintf(&b, "<figure><img src=%q alt=%q width=\"480\"><figcaption>%s<br>", dir+"/plot.svg", p.Title, p.Title)
+		for _, f := range []string{"plot.dat", "plot.gp", "plot.csv", "plot.txt", "summary.txt"} {
+			fmt.Fprintf(&b, "<a href=%q>%s</a> ", dir+"/"+f, f)
+		}
+		b.WriteString("</figcaption></figure>\n")
+	}
+	b.WriteString("</body></html>\n")
+	return os.WriteFile(filepath.Join(outDir, "index.html"), []byte(b.String()), 0o644)
+}
+
+// emit writes every requested figure panel for one suite result and
+// returns references for the HTML index (paths relative to outDir).
+func emit(res *experiment.Results, m economy.Model, setName, analysis, outDir string, ascii bool) ([]panelRef, error) {
+	base := filepath.Join(outDir, slug(m.String()), slug(setName))
+	figSep, figInt := figureNumbers(m)
+	var refs []panelRef
+	addRef := func(title, dir string) {
+		rel, err := filepath.Rel(outDir, dir)
+		if err != nil {
+			rel = dir
+		}
+		refs = append(refs, panelRef{Title: title, Dir: rel})
+	}
+
+	if analysis == "separate" || analysis == "all" {
+		for _, obj := range risk.AllObjectives {
+			series, err := res.SeparateSeries(obj)
+			if err != nil {
+				return nil, err
+			}
+			title := fmt.Sprintf("Figure %d (%s, %s): separate — %s", figSep, m, setName, obj)
+			dir := filepath.Join(base, "separate", slug(obj.String()))
+			if err := writePanel(dir, title, series, ascii); err != nil {
+				return nil, err
+			}
+			addRef(title, dir)
+		}
+	}
+	if analysis == "integrated3" || analysis == "all" {
+		for i, combo := range experiment.ObjectiveTriples() {
+			series, err := res.IntegratedSeries(combo)
+			if err != nil {
+				return nil, err
+			}
+			names := make([]string, len(combo))
+			for k, o := range combo {
+				names[k] = o.String()
+			}
+			title := fmt.Sprintf("Figure %d (%s, %s): integrated — %s", figInt, m, setName, strings.Join(names, ", "))
+			dir := filepath.Join(base, "integrated3", fmt.Sprintf("drop-%s", slug(risk.AllObjectives[i].String())))
+			if err := writePanel(dir, title, series, ascii); err != nil {
+				return nil, err
+			}
+			addRef(title, dir)
+		}
+	}
+	if analysis == "integrated4" || analysis == "all" {
+		series, err := res.IntegratedSeries(risk.AllObjectives)
+		if err != nil {
+			return nil, err
+		}
+		title := fmt.Sprintf("Figure %d (%s, %s): integrated — all four objectives", figInt+1, m, setName)
+		dir4 := filepath.Join(base, "integrated4")
+		if err := writePanel(dir4, title, series, ascii); err != nil {
+			return nil, err
+		}
+		addRef(title, dir4)
+		// Rankings over the all-objective integration.
+		perf, err := risk.RankByPerformance(series)
+		if err != nil {
+			return nil, err
+		}
+		vol, err := risk.RankByVolatility(series)
+		if err != nil {
+			return nil, err
+		}
+		var b strings.Builder
+		b.WriteString("Ranking by best performance:\n")
+		for _, row := range risk.RankingTable(perf, false) {
+			b.WriteString("  " + row + "\n")
+		}
+		b.WriteString("Ranking by best volatility:\n")
+		for _, row := range risk.RankingTable(vol, true) {
+			b.WriteString("  " + row + "\n")
+		}
+		if err := os.WriteFile(filepath.Join(base, "integrated4", "ranking.txt"), []byte(b.String()), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Printf("-- %s/%s best overall policy (performance): %s\n", m, setName, perf[0].Series.Policy)
+	}
+	return refs, nil
+}
+
+// writePanel writes one figure panel in every format.
+func writePanel(dir, title string, series []risk.Series, ascii bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cfg := plot.Config{Title: title, TrendLines: true}
+	files := map[string]string{
+		"plot.dat": plot.GnuplotData(series),
+		"plot.gp":  plot.GnuplotScript(series, "plot.dat", cfg),
+		"plot.csv": plot.CSV(series),
+		"plot.svg": plot.SVG(series, cfg),
+		"plot.txt": plot.ASCII(series, cfg),
+	}
+	summary, err := plot.SummaryTable(series)
+	if err != nil {
+		return err
+	}
+	files["summary.txt"] = summary
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	if ascii {
+		fmt.Println(plot.ASCII(series, cfg))
+	}
+	return nil
+}
+
+// writeResultsJSON persists the raw per-cell reports so later analysis
+// (custom weights, new objectives) does not need to re-simulate.
+func writeResultsJSON(res *experiment.Results, m economy.Model, setName, outDir string) error {
+	dir := filepath.Join(outDir, slug(m.String()), slug(setName))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "results.json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return res.WriteJSON(f)
+}
+
+// figureNumbers maps a model to its separate / integrated-3 figure numbers
+// in the paper (commodity: 3/4/5; bid-based: 6/7/8).
+func figureNumbers(m economy.Model) (sep, int3 int) {
+	if m == economy.Commodity {
+		return 3, 4
+	}
+	return 6, 7
+}
+
+func parseModels(s string) ([]economy.Model, error) {
+	switch s {
+	case "commodity":
+		return []economy.Model{economy.Commodity}, nil
+	case "bid", "bid-based":
+		return []economy.Model{economy.BidBased}, nil
+	case "both":
+		return []economy.Model{economy.Commodity, economy.BidBased}, nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", s)
+	}
+}
+
+func parseSets(s string) ([]bool, error) {
+	switch strings.ToUpper(s) {
+	case "A":
+		return []bool{false}, nil
+	case "B":
+		return []bool{true}, nil
+	case "BOTH":
+		return []bool{false, true}, nil
+	default:
+		return nil, fmt.Errorf("unknown set %q (want A, B, or both)", s)
+	}
+}
+
+func slug(s string) string {
+	s = strings.ToLower(s)
+	s = strings.ReplaceAll(s, " ", "-")
+	s = strings.ReplaceAll(s, ":", "")
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "riskbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,124 @@
+// Command riskplot renders a risk analysis plot from a CSV file previously
+// written by riskbench (columns: policy,scenario,volatility,performance),
+// as ASCII on stdout or as an SVG file.
+//
+// Example:
+//
+//	riskplot -in results/commodity/set-b/integrated4/plot.csv -svg out.svg
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/plot"
+	"repro/internal/risk"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "input CSV (policy,scenario,volatility,performance); default stdin")
+		svg   = flag.String("svg", "", "write SVG to this file instead of printing ASCII")
+		title = flag.String("title", "Risk analysis", "plot title")
+		xmax  = flag.Float64("xmax", 0.5, "volatility axis maximum")
+		trend = flag.Bool("trend", true, "draw trend lines in SVG output")
+		rank  = flag.Bool("rank", false, "also print Table III/IV-style rankings")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	series, err := readCSV(r)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := plot.Config{Title: *title, XMax: *xmax, TrendLines: *trend}
+	if *svg != "" {
+		if err := os.WriteFile(*svg, []byte(plot.SVG(series, cfg)), 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Print(plot.ASCII(series, cfg))
+	}
+	if *rank {
+		perf, err := risk.RankByPerformance(series)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\nRanking by best performance:")
+		for _, row := range risk.RankingTable(perf, false) {
+			fmt.Println(" ", row)
+		}
+		vol, err := risk.RankByVolatility(series)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Ranking by best volatility:")
+		for _, row := range risk.RankingTable(vol, true) {
+			fmt.Println(" ", row)
+		}
+	}
+}
+
+// readCSV parses riskbench's plot.csv format (including quoted scenario
+// labels), preserving first-seen policy order.
+func readCSV(r io.Reader) ([]risk.Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	byPolicy := map[string]*risk.Series{}
+	var order []string
+	line := 0
+	for {
+		parts, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		line++
+		if parts[0] == "policy" {
+			continue // header
+		}
+		vol, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: volatility: %v", line, err)
+		}
+		perf, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: performance: %v", line, err)
+		}
+		s, ok := byPolicy[parts[0]]
+		if !ok {
+			s = &risk.Series{Policy: parts[0]}
+			byPolicy[parts[0]] = s
+			order = append(order, parts[0])
+		}
+		s.Points = append(s.Points, risk.Point{Performance: perf, Volatility: vol})
+		s.Labels = append(s.Labels, parts[1])
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("no data rows")
+	}
+	out := make([]risk.Series, len(order))
+	for i, p := range order {
+		out[i] = *byPolicy[p]
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "riskplot:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	in := `policy,scenario,volatility,performance
+Libra,0,0.000000,1.000000
+Libra,1,0.100000,0.900000
+FCFS-BF,0,0.200000,0.500000
+
+FCFS-BF,1,0.300000,0.400000
+`
+	series, err := readCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("parsed %d series, want 2", len(series))
+	}
+	if series[0].Policy != "Libra" || series[1].Policy != "FCFS-BF" {
+		t.Errorf("policy order = %s, %s; want first-seen order", series[0].Policy, series[1].Policy)
+	}
+	if len(series[0].Points) != 2 || len(series[1].Points) != 2 {
+		t.Fatalf("point counts = %d, %d", len(series[0].Points), len(series[1].Points))
+	}
+	p := series[0].Points[1]
+	if p.Volatility != 0.1 || p.Performance != 0.9 {
+		t.Errorf("point = %+v, want (0.9, 0.1)", p)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"wrongColumns": "Libra,0,0.1\n",
+		"badVol":       "Libra,0,x,0.5\n",
+		"badPerf":      "Libra,0,0.1,y\n",
+		"empty":        "policy,scenario,volatility,performance\n",
+	}
+	for name, in := range cases {
+		if _, err := readCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+func smallResults(t *testing.T) *experiment.Results {
+	t.Helper()
+	cfg := experiment.DefaultSuiteConfig(economy.BidBased, true)
+	cfg.Jobs = 80
+	cfg.Nodes = 32
+	synth := workload.DefaultSynthConfig()
+	synth.Widths = []int{1, 2, 4, 8, 16, 32}
+	synth.WidthWeights = []float64{0.3, 0.2, 0.2, 0.15, 0.1, 0.05}
+	cfg.Synth = &synth
+	res, err := experiment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestReportSections(t *testing.T) {
+	res := smallResults(t)
+	var buf bytes.Buffer
+	if err := report(&buf, res, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Risk analysis report — bid-based model, Set B",
+		"## Separate risk analysis",
+		"### Objective: wait",
+		"### Objective: profitability",
+		"## Integrated risk analysis",
+		"Ranking by best performance",
+		"Ranking by best volatility",
+		"### Pareto front",
+		"## A-priori projection",
+		"## Recommendation",
+		"Best overall performance",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Every policy appears.
+	for _, p := range res.Policies {
+		if !strings.Contains(out, p) {
+			t.Errorf("report missing policy %s", p)
+		}
+	}
+}
+
+func TestReportRoundTripThroughJSON(t *testing.T) {
+	res := smallResults(t)
+	var js bytes.Buffer
+	if err := res.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	back, err := experiment.ReadJSON(&js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := report(&a, res, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := report(&b, back, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("report differs after JSON round trip")
+	}
+}

@@ -1,0 +1,153 @@
+// Command simrun runs one trace-driven simulation of a single policy and
+// prints the four objectives of the paper (wait, SLA, reliability,
+// profitability) plus the extension metrics.
+//
+// Example:
+//
+//	simrun -policy Libra+$ -model commodity -jobs 5000 -inaccuracy 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/economy"
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/scheduler"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		policy     = flag.String("policy", "Libra", "policy name (see -list), or \"all\" to compare every policy of the model")
+		model      = flag.String("model", "commodity", "economic model: commodity or bid")
+		jobs       = flag.Int("jobs", 5000, "number of jobs in the synthetic trace")
+		nodes      = flag.Int("nodes", 128, "cluster size")
+		inaccuracy = flag.Float64("inaccuracy", 0, "runtime estimate inaccuracy % (0 = Set A, 100 = Set B)")
+		arrival    = flag.Float64("arrival", 0.25, "arrival delay factor (lower = heavier load)")
+		urgent     = flag.Float64("urgent", 20, "percentage of high urgency jobs")
+		traceSeed  = flag.Int64("trace-seed", 1, "synthetic trace seed")
+		qosSeed    = flag.Int64("qos-seed", 2, "QoS synthesis seed")
+		swf        = flag.String("swf", "", "optional SWF trace file to use instead of the synthetic trace")
+		dump       = flag.String("dump", "", "write the per-job outcome audit trail to this CSV file")
+		list       = flag.Bool("list", false, "list policies and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Policy       Models                Primary parameter")
+		for _, s := range scheduler.Specs() {
+			models := ""
+			for i, m := range s.Models {
+				if i > 0 {
+					models += ", "
+				}
+				models += m.String()
+			}
+			fmt.Printf("%-12s %-21s %s\n", s.Name, models, s.Parameter)
+		}
+		return
+	}
+
+	m, err := parseModel(*model)
+	if err != nil {
+		fatal(err)
+	}
+	if *policy == "all" {
+		compareAll(m, *jobs, *nodes, *inaccuracy, *arrival, *urgent, *traceSeed, *qosSeed)
+		return
+	}
+	spec, err := scheduler.SpecByName(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := experiment.DefaultSuiteConfig(m, *inaccuracy >= 50)
+	cfg.Jobs = *jobs
+	cfg.Nodes = *nodes
+	cfg.TraceSeed = *traceSeed
+	cfg.QoSSeed = *qosSeed
+	if *swf != "" {
+		f, err := os.Open(*swf)
+		if err != nil {
+			fatal(err)
+		}
+		trace, err := workload.ReadSWF(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Trace = workload.LastN(trace, *jobs)
+	}
+	params := experiment.DefaultParams(*inaccuracy)
+	params.ArrivalFactor = *arrival
+	params.HighUrgencyFrac = *urgent / 100
+
+	rep, outcomes, err := experiment.RunCellDetailed(cfg, params, spec)
+	if err != nil {
+		fatal(err)
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		if err := metrics.WriteOutcomesCSV(f, outcomes); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("policy         %s (%s model)\n", spec.Name, m)
+	fmt.Printf("jobs           %d submitted, %d accepted, %d SLA fulfilled\n",
+		rep.Submitted, rep.Accepted, rep.SLAFulfilled)
+	fmt.Printf("wait           %.1f s\n", rep.Wait)
+	fmt.Printf("SLA            %.2f %%\n", rep.SLA)
+	fmt.Printf("reliability    %.2f %%\n", rep.Reliability)
+	fmt.Printf("profitability  %.2f %%  (utility $%.0f of $%.0f budget)\n",
+		rep.Profitability, rep.TotalUtility, rep.TotalBudget)
+	fmt.Printf("mean slowdown  %.2f    mean response %.1f s\n", rep.MeanSlowdown, rep.MeanResponseTime)
+	fmt.Printf("utilization    %.2f %%\n", rep.Utilization*100)
+}
+
+// compareAll runs every Table V policy of the model on the same workload
+// and prints a side-by-side objective table.
+func compareAll(m economy.Model, jobs, nodes int, inaccuracy, arrival, urgent float64, traceSeed, qosSeed int64) {
+	cfg := experiment.DefaultSuiteConfig(m, inaccuracy >= 50)
+	cfg.Jobs = jobs
+	cfg.Nodes = nodes
+	cfg.TraceSeed = traceSeed
+	cfg.QoSSeed = qosSeed
+	params := experiment.DefaultParams(inaccuracy)
+	params.ArrivalFactor = arrival
+	params.HighUrgencyFrac = urgent / 100
+	fmt.Printf("%-12s %9s %8s %13s %15s %13s\n",
+		"policy", "wait(s)", "SLA%", "reliability%", "profitability%", "utilization%")
+	for _, spec := range scheduler.ForModel(m) {
+		rep, err := experiment.RunCell(cfg, params, spec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-12s %9.1f %8.2f %13.2f %15.2f %13.2f\n",
+			spec.Name, rep.Wait, rep.SLA, rep.Reliability, rep.Profitability, rep.Utilization*100)
+	}
+}
+
+func parseModel(s string) (economy.Model, error) {
+	switch s {
+	case "commodity":
+		return economy.Commodity, nil
+	case "bid", "bid-based":
+		return economy.BidBased, nil
+	default:
+		return 0, fmt.Errorf("unknown model %q (want commodity or bid)", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simrun:", err)
+	os.Exit(1)
+}

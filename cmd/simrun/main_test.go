@@ -1,0 +1,22 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/economy"
+)
+
+func TestParseModel(t *testing.T) {
+	if m, err := parseModel("commodity"); err != nil || m != economy.Commodity {
+		t.Errorf("parseModel(commodity) = %v, %v", m, err)
+	}
+	if m, err := parseModel("bid"); err != nil || m != economy.BidBased {
+		t.Errorf("parseModel(bid) = %v, %v", m, err)
+	}
+	if m, err := parseModel("bid-based"); err != nil || m != economy.BidBased {
+		t.Errorf("parseModel(bid-based) = %v, %v", m, err)
+	}
+	if _, err := parseModel("x"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

@@ -1,0 +1,67 @@
+// Command tracegen generates a synthetic SDSC-SP2-calibrated workload
+// trace in Standard Workload Format, and prints the calibration statistics
+// the paper reports for its 5000-job subset.
+//
+// Example:
+//
+//	tracegen -jobs 5000 -seed 1 -out sdsc-sp2-synth.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		jobs    = flag.Int("jobs", 5000, "number of jobs")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "output SWF file (default stdout)")
+		nodes   = flag.Int("nodes", 128, "machine size for utilization stats")
+		arrival = flag.Float64("mean-arrival", 1969, "mean inter-arrival time (s)")
+		runtime = flag.Float64("mean-runtime", 8671, "mean runtime (s)")
+		stats   = flag.Bool("stats", true, "print trace statistics to stderr")
+	)
+	flag.Parse()
+
+	cfg := workload.DefaultSynthConfig()
+	cfg.Jobs = *jobs
+	cfg.MeanInterArrival = *arrival
+	cfg.MeanRuntime = *runtime
+	trace, err := workload.Generate(cfg, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	comment := fmt.Sprintf("Synthetic SDSC-SP2-calibrated trace (seed %d, %d jobs)", *seed, *jobs)
+	if err := workload.WriteSWF(w, trace, comment); err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		ts := workload.Stats(trace, *nodes)
+		fmt.Fprintf(os.Stderr, "jobs                 %d\n", ts.Jobs)
+		fmt.Fprintf(os.Stderr, "mean inter-arrival   %.0f s (paper: 1969)\n", ts.MeanInterArrival)
+		fmt.Fprintf(os.Stderr, "mean runtime         %.0f s (paper: 8671)\n", ts.MeanRuntime)
+		fmt.Fprintf(os.Stderr, "mean width           %.1f procs (paper: 17)\n", ts.MeanWidth)
+		fmt.Fprintf(os.Stderr, "under-estimates      %.1f %% (paper: 8%%)\n", ts.UnderEstimateFrac*100)
+		fmt.Fprintf(os.Stderr, "offered utilization  %.1f %% on %d nodes\n", ts.OfferedUtilization*100, *nodes)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

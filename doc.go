@@ -1,0 +1,12 @@
+// Package repro reproduces Yeo & Buyya, "Integrated Risk Analysis for a
+// Commercial Computing Service in Utility Computing" (IPDPS 2007): a
+// discrete-event cluster simulation of seven resource management policies
+// under two economic models, evaluated with the paper's separate and
+// integrated risk analysis.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/ holds the executables and examples/ the runnable
+// walkthroughs. bench_test.go regenerates every table and figure of the
+// paper's evaluation at benchmark scale; cmd/riskbench does so at paper
+// scale.
+package repro

@@ -1,0 +1,83 @@
+// SWF import: drive the whole pipeline from a Standard Workload Format
+// trace file, the way the paper drives it from the SDSC SP2 archive trace.
+// Pass a real trace (e.g. SDSC-SP2-1998-4.2-cln.swf) as the first
+// argument; without one, the example writes a synthetic trace to a
+// temporary file first so it is runnable out of the box.
+//
+//	go run ./examples/swfimport [trace.swf]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/economy"
+	"repro/internal/experiment"
+	"repro/internal/scheduler"
+	"repro/internal/workload"
+)
+
+func main() {
+	path := ""
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	} else {
+		path = writeSyntheticTrace()
+		fmt.Printf("no trace given; wrote synthetic trace to %s\n\n", path)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := workload.ReadSWF(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper uses the last 5000 jobs of the trace.
+	subset := workload.LastN(trace, 5000)
+	ts := workload.Stats(subset, 128)
+	fmt.Printf("trace: %d jobs, mean inter-arrival %.0f s, mean runtime %.0f s, mean width %.1f, %.0f%% under-estimates\n\n",
+		ts.Jobs, ts.MeanInterArrival, ts.MeanRuntime, ts.MeanWidth, ts.UnderEstimateFrac*100)
+
+	// Run one cell of the evaluation on it: Set B (keep the trace's own
+	// estimates), default Table VI operating point, both Libra variants.
+	cfg := experiment.DefaultSuiteConfig(economy.BidBased, true)
+	cfg.Trace = subset
+	for _, name := range []string{"Libra", "LibraRiskD"} {
+		spec, err := scheduler.SpecByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := experiment.RunCell(cfg, experiment.DefaultParams(100), spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s  SLA %6.2f%%  reliability %6.2f%%  profitability %6.2f%%\n",
+			name, rep.SLA, rep.Reliability, rep.Profitability)
+	}
+	fmt.Println("\nLibraRiskD should match or beat Libra on reliability and profitability:")
+	fmt.Println("it refuses to place jobs on nodes whose running jobs have overrun their estimates.")
+}
+
+func writeSyntheticTrace() string {
+	cfg := workload.DefaultSynthConfig()
+	trace, err := workload.Generate(cfg, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(os.TempDir(), "sdsc-sp2-synth.swf")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := workload.WriteSWF(f, trace, "synthetic SDSC-SP2-calibrated trace"); err != nil {
+		log.Fatal(err)
+	}
+	return path
+}

@@ -1,0 +1,262 @@
+// Package cluster models the simulated machine: a cluster of
+// single-processor nodes (the paper simulates the 128-node IBM SP2 at SDSC)
+// under two execution disciplines:
+//
+//   - SpaceShared: one job per processor at a time, used by the backfilling
+//     policies (FCFS-BF, SJF-BF, EDF-BF) and FirstReward;
+//   - TimeShared: deadline-proportional processor shares with multiple jobs
+//     per processor, used by the Libra family.
+//
+// Both disciplines complete jobs after their *actual* runtime; schedulers
+// only ever see the user *estimate*, which is how the paper's inaccuracy
+// effects arise. Both support heterogeneous per-node speed ratings (the
+// paper's SP2 is homogeneous at SPEC rating 168; ratings are the
+// heterogeneity extension).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// DefaultNodes is the machine size the paper simulates.
+const DefaultNodes = 128
+
+// SpaceJob describes one job currently executing on a space-shared cluster.
+type SpaceJob struct {
+	Job *workload.Job
+	// Nodes are the indices of the processors the job occupies.
+	Nodes []int
+	// Speed is the effective execution speed: the minimum rating among the
+	// allocated nodes (a parallel job advances in lockstep).
+	Speed float64
+	Start sim.Time
+	// EstEnd is the completion time the scheduler believes in (start +
+	// estimate/speed); ActualEnd is when the simulation really completes
+	// it.
+	EstEnd    sim.Time
+	ActualEnd sim.Time
+}
+
+// SpaceShared is a space-shared (dedicated-processor) cluster. Jobs occupy
+// their full processor count from Start until their actual runtime (scaled
+// by node speed) elapses.
+type SpaceShared struct {
+	engine  *sim.Engine
+	ratings []float64
+	busy    []bool
+	free    int
+	running map[*workload.Job]*SpaceJob
+
+	// busyIntegral accumulates busy processor-seconds for Utilization.
+	busyIntegral float64
+	lastChange   sim.Time
+}
+
+// NewSpaceShared returns a homogeneous space-shared cluster of the given
+// size bound to the engine (every node at the reference speed).
+func NewSpaceShared(engine *sim.Engine, nodes int) *SpaceShared {
+	if nodes <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive node count %d", nodes))
+	}
+	ratings := make([]float64, nodes)
+	for i := range ratings {
+		ratings[i] = 1
+	}
+	return NewSpaceSharedRated(engine, ratings)
+}
+
+// NewSpaceSharedRated returns a heterogeneous space-shared cluster: node i
+// executes work at ratings[i] times the reference speed. Allocation is
+// fastest-first; a parallel job runs at its slowest allocated node's speed.
+func NewSpaceSharedRated(engine *sim.Engine, ratings []float64) *SpaceShared {
+	if len(ratings) == 0 {
+		panic("cluster: no node ratings")
+	}
+	for i, r := range ratings {
+		if r <= 0 {
+			panic(fmt.Sprintf("cluster: non-positive rating %v for node %d", r, i))
+		}
+	}
+	return &SpaceShared{
+		engine:  engine,
+		ratings: append([]float64(nil), ratings...),
+		busy:    make([]bool, len(ratings)),
+		free:    len(ratings),
+		running: make(map[*workload.Job]*SpaceJob),
+	}
+}
+
+// Nodes returns the machine size.
+func (s *SpaceShared) Nodes() int { return len(s.ratings) }
+
+// Rating returns node i's speed multiplier.
+func (s *SpaceShared) Rating(i int) float64 { return s.ratings[i] }
+
+// FreeProcs returns the number of currently idle processors.
+func (s *SpaceShared) FreeProcs() int { return s.free }
+
+// RunningCount returns the number of jobs currently executing.
+func (s *SpaceShared) RunningCount() int { return len(s.running) }
+
+// CanStart reports whether a job of the given width fits right now.
+func (s *SpaceShared) CanStart(procs int) bool {
+	return procs <= s.free && procs <= len(s.ratings)
+}
+
+// accrue integrates busy processor time up to the current instant; callers
+// mutate the busy count immediately afterwards.
+func (s *SpaceShared) accrue() {
+	now := s.engine.Now()
+	s.busyIntegral += float64(len(s.ratings)-s.free) * float64(now-s.lastChange)
+	s.lastChange = now
+}
+
+// Utilization returns the machine's processor utilization from time zero
+// to the current instant: busy processor-seconds over capacity (counted in
+// processors, not ratings). Zero at time zero.
+func (s *SpaceShared) Utilization() float64 {
+	now := float64(s.engine.Now())
+	if now <= 0 {
+		return 0
+	}
+	current := s.busyIntegral + float64(len(s.ratings)-s.free)*(now-float64(s.lastChange))
+	return current / (float64(len(s.ratings)) * now)
+}
+
+// pickNodes selects the procs fastest free nodes (ties by index).
+func (s *SpaceShared) pickNodes(procs int) []int {
+	idx := make([]int, 0, s.free)
+	for i, busy := range s.busy {
+		if !busy {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ra, rb := s.ratings[idx[a]], s.ratings[idx[b]]
+		if ra != rb {
+			return ra > rb
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:procs]
+}
+
+// Start begins executing j immediately on the fastest free nodes. done
+// fires at the job's actual completion, after processors have been
+// released.
+func (s *SpaceShared) Start(j *workload.Job, done func(finished *workload.Job)) error {
+	if j.Procs > len(s.ratings) {
+		return fmt.Errorf("cluster: job %d needs %d procs, machine has %d", j.ID, j.Procs, len(s.ratings))
+	}
+	if j.Procs > s.free {
+		return fmt.Errorf("cluster: job %d needs %d procs, only %d free", j.ID, j.Procs, s.free)
+	}
+	nodes := s.pickNodes(j.Procs)
+	speed := s.ratings[nodes[0]]
+	for _, n := range nodes[1:] {
+		if s.ratings[n] < speed {
+			speed = s.ratings[n]
+		}
+	}
+	now := s.engine.Now()
+	sj := &SpaceJob{
+		Job:       j,
+		Nodes:     nodes,
+		Speed:     speed,
+		Start:     now,
+		EstEnd:    now + sim.Time(j.Estimate/speed),
+		ActualEnd: now + sim.Time(j.Runtime/speed),
+	}
+	s.accrue()
+	for _, n := range nodes {
+		s.busy[n] = true
+	}
+	s.free -= j.Procs
+	s.running[j] = sj
+	s.engine.MustSchedule(sj.ActualEnd, fmt.Sprintf("complete job %d", j.ID), func() {
+		s.accrue()
+		delete(s.running, j)
+		for _, n := range sj.Nodes {
+			s.busy[n] = false
+		}
+		s.free += j.Procs
+		if done != nil {
+			done(j)
+		}
+	})
+	return nil
+}
+
+// Running returns the executing jobs, ordered by believed completion time
+// (then job ID) for deterministic iteration.
+func (s *SpaceShared) Running() []*SpaceJob {
+	out := make([]*SpaceJob, 0, len(s.running))
+	for _, sj := range s.running {
+		out = append(out, sj)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].EstEnd != out[k].EstEnd {
+			return out[i].EstEnd < out[k].EstEnd
+		}
+		return out[i].Job.ID < out[k].Job.ID
+	})
+	return out
+}
+
+// believedEnd is when the scheduler expects sj to release its processors: a
+// job past its estimate is presumed to finish imminently (the standard
+// backfilling treatment of runtime under-estimates).
+func (s *SpaceShared) believedEnd(sj *SpaceJob) sim.Time {
+	now := s.engine.Now()
+	if sj.EstEnd < now {
+		return now
+	}
+	return sj.EstEnd
+}
+
+// EarliestAvailable returns the earliest time (>= now) at which at least
+// procs processors are expected to be free, according to estimates of the
+// running jobs. This is the EASY backfilling "reservation" anchor. On a
+// heterogeneous machine it is count-based: which processors free up is not
+// modeled (backfilling has no canonical heterogeneous form).
+func (s *SpaceShared) EarliestAvailable(procs int) (sim.Time, error) {
+	if procs > len(s.ratings) {
+		return 0, fmt.Errorf("cluster: width %d exceeds machine size %d", procs, len(s.ratings))
+	}
+	if procs <= s.free {
+		return s.engine.Now(), nil
+	}
+	free := s.free
+	releases := s.Running()
+	sort.Slice(releases, func(i, k int) bool {
+		bi, bk := s.believedEnd(releases[i]), s.believedEnd(releases[k])
+		if bi != bk {
+			return bi < bk
+		}
+		return releases[i].Job.ID < releases[k].Job.ID
+	})
+	for _, sj := range releases {
+		free += sj.Job.Procs
+		if free >= procs {
+			return s.believedEnd(sj), nil
+		}
+	}
+	// Unreachable for procs <= nodes: releasing everything frees all nodes.
+	return 0, fmt.Errorf("cluster: no release plan frees %d procs", procs)
+}
+
+// AvailableAt returns the number of processors expected to be free at time
+// t (>= now), per estimates of the running jobs.
+func (s *SpaceShared) AvailableAt(t sim.Time) int {
+	free := s.free
+	for _, sj := range s.running {
+		if s.believedEnd(sj) <= t {
+			free += sj.Job.Procs
+		}
+	}
+	return free
+}

@@ -1,0 +1,460 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// workEps is the slack under which remaining work counts as finished,
+// absorbing floating-point drift in progress integration.
+const workEps = 1e-6
+
+// LapsedWeightFactor scales the proportional-share weight of a job whose
+// booking has lapsed (it ran past its own deadline without finishing). The
+// reservation no longer exists for admission purposes, but the OS-level
+// proportional share enforcing the job's tickets is not revoked, so the
+// job keeps competing at its full former share (factor 1). This is how
+// inaccurate runtime estimates poison a Libra-managed node: the scheduler
+// admits new work against the lapsed share while the overrun job still
+// consumes its slice, pushing total weight above 1 and squeezing every job
+// below its booked share.
+const LapsedWeightFactor = 1.0
+
+// TSJob is one job executing on a time-shared cluster.
+type TSJob struct {
+	Job *workload.Job
+	// Share is the guaranteed processor fraction on each allocated node
+	// (Libra's estimate/deadline), booked until the job's absolute
+	// deadline.
+	Share float64
+	// Nodes are the indices of the allocated nodes.
+	Nodes []int
+	Start sim.Time
+
+	remaining float64 // actual work left, in seconds at rate 1
+	progress  float64 // actual work done
+	rate      float64 // current execution rate (fraction of a processor)
+	lapsed    bool    // booking expired before completion
+	lapseEv   *sim.Event
+	done      func(*workload.Job)
+}
+
+// Progress returns the actual work completed so far, in processor-seconds
+// at rate 1 (callers must have triggered an advance via a TimeShared query
+// at the current time; all exported TimeShared methods do so).
+func (t *TSJob) Progress() float64 { return t.progress }
+
+// Overrun reports whether the job has already executed longer than its user
+// estimate promised — the signal LibraRiskD keys on.
+func (t *TSJob) Overrun() bool { return t.progress >= t.Job.Estimate-workEps }
+
+// Lapsed reports whether the job's share booking has expired (it is still
+// running past its own absolute deadline).
+func (t *TSJob) Lapsed() bool { return t.lapsed }
+
+// Rate returns the current execution rate.
+func (t *TSJob) Rate() float64 { return t.rate }
+
+// Remaining returns the actual work left, in seconds at rate 1. Work
+// within the completion epsilon counts as done (the completion event for
+// it is already pending).
+func (t *TSJob) Remaining() float64 { return t.remaining }
+
+// Done reports whether the job's work is complete up to the integration
+// epsilon — its completion event is due this instant.
+func (t *TSJob) Done() bool { return t.remaining <= workEps }
+
+// weight is the job's current proportional-share weight on each of its
+// nodes.
+func (t *TSJob) weight() float64 {
+	if t.lapsed {
+		return t.Share * LapsedWeightFactor
+	}
+	return t.Share
+}
+
+type tsNode struct {
+	// booked is the share sum of jobs whose reservation is still active;
+	// admission control sees 1 − booked as free.
+	booked float64
+	// lapsedWeight is the weight sum of jobs running past their deadline.
+	lapsedWeight float64
+	// rating scales the node's execution speed relative to the reference
+	// machine the trace's runtimes were measured on (1.0 = SP2 node).
+	rating float64
+	jobs   map[*TSJob]struct{}
+}
+
+func (n *tsNode) totalWeight() float64 { return n.booked + n.lapsedWeight }
+
+// TimeShared is a proportional-share cluster: each node runs any number of
+// jobs, each holding a share of the processor booked until its deadline,
+// with spare capacity redistributed proportionally to weights. With total
+// weight W on a node, a job of weight w executes at rate w/W there (rate 1
+// when alone); a parallel job advances at the rate of its slowest node.
+//
+// A job that reaches its own absolute deadline unfinished "lapses": its
+// booking is released (admission control may commit the share to new
+// work), and it keeps executing at LapsedWeightFactor of its former
+// weight. Jobs whose Deadline field is zero never lapse. While every
+// booking holds, a job's rate never falls below its share — Libra's
+// guarantee — but lapsed jobs can push a node's total weight above 1,
+// squeezing everyone below their booked share. That over-commitment is the
+// mechanism by which under-estimated runtimes cascade into deadline misses
+// (the paper's Set B).
+type TimeShared struct {
+	engine  *sim.Engine
+	nodes   []tsNode
+	running map[*workload.Job]*TSJob
+	// order lists running jobs in start order: all float accumulation
+	// iterates it so results do not depend on map iteration order.
+	order      []*TSJob
+	lastUpdate sim.Time
+	next       *sim.Event
+
+	// busyIntegral accumulates useful processor work (Σ rate·width over
+	// time) for Utilization. Capacity allocated on a fast node but idled
+	// by a parallel job's slower node does not count.
+	busyIntegral float64
+}
+
+// NewTimeShared returns a homogeneous time-shared cluster of the given
+// size bound to the engine (every node at the reference speed, as the
+// paper's SDSC SP2 — SPEC rating 168 throughout).
+func NewTimeShared(engine *sim.Engine, nodes int) *TimeShared {
+	if nodes <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive node count %d", nodes))
+	}
+	ratings := make([]float64, nodes)
+	for i := range ratings {
+		ratings[i] = 1
+	}
+	return NewTimeSharedRated(engine, ratings)
+}
+
+// NewTimeSharedRated returns a heterogeneous time-shared cluster: node i
+// executes work at ratings[i] times the reference speed (the speed the
+// trace's runtimes assume). Schedulers that are blind to ratings — like
+// Libra's share admission — misjudge slow nodes, which is exactly the
+// heterogeneity risk the rating ablation measures.
+func NewTimeSharedRated(engine *sim.Engine, ratings []float64) *TimeShared {
+	if len(ratings) == 0 {
+		panic("cluster: no node ratings")
+	}
+	ts := &TimeShared{
+		engine:  engine,
+		nodes:   make([]tsNode, len(ratings)),
+		running: make(map[*workload.Job]*TSJob),
+	}
+	for i, r := range ratings {
+		if r <= 0 {
+			panic(fmt.Sprintf("cluster: non-positive rating %v for node %d", r, i))
+		}
+		ts.nodes[i].rating = r
+		ts.nodes[i].jobs = make(map[*TSJob]struct{})
+	}
+	return ts
+}
+
+// Rating returns node i's speed multiplier.
+func (t *TimeShared) Rating(i int) float64 { return t.nodes[i].rating }
+
+// Nodes returns the machine size.
+func (t *TimeShared) Nodes() int { return len(t.nodes) }
+
+// RunningCount returns the number of executing jobs.
+func (t *TimeShared) RunningCount() int { return len(t.running) }
+
+// FreeShare returns the unbooked processor fraction on node i — what
+// admission control may still commit. Lapsed jobs do not count against it.
+func (t *TimeShared) FreeShare(i int) float64 { return 1 - t.nodes[i].booked }
+
+// Load returns the booked processor fraction on node i.
+func (t *TimeShared) Load(i int) float64 { return t.nodes[i].booked }
+
+// NodeHasOverrun reports whether any job on node i has exceeded its
+// estimate (and is therefore holding capacity for an unknown further
+// time).
+func (t *TimeShared) NodeHasOverrun(i int) bool {
+	t.advance()
+	for j := range t.nodes[i].jobs {
+		if j.Overrun() {
+			return true
+		}
+	}
+	return false
+}
+
+// CandidateNodes returns the indices of nodes with at least the given free
+// share, sorted best-fit first (least remaining free share, then index) —
+// Libra saturates nodes to their maximum.
+func (t *TimeShared) CandidateNodes(share float64) []int {
+	var idx []int
+	for i := range t.nodes {
+		if t.FreeShare(i)+workEps >= share {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		fa, fb := t.FreeShare(idx[a]), t.FreeShare(idx[b])
+		if fa != fb {
+			return fa < fb
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// CommittedSeconds returns the processor-seconds booked on node i over the
+// window [now, now+horizon): each active booking lasts until its job's
+// absolute deadline. Lapsed jobs contribute nothing — their booking has
+// expired even though they still execute. Libra+$'s RESFree is derived
+// from this.
+func (t *TimeShared) CommittedSeconds(i int, horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	t.advance()
+	now := float64(t.engine.Now())
+	// Sum in job-ID order: float addition is not associative, and map
+	// iteration order would otherwise make quoted prices depend on it.
+	jobs := make([]*TSJob, 0, len(t.nodes[i].jobs))
+	for tj := range t.nodes[i].jobs {
+		if !tj.lapsed {
+			jobs = append(jobs, tj)
+		}
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].Job.ID < jobs[b].Job.ID })
+	total := 0.0
+	for _, tj := range jobs {
+		end := tj.Job.AbsDeadline()
+		if tj.Job.Deadline <= 0 { // no deadline: booked until completion
+			end = now + tj.remaining/math.Max(tj.rate, tj.Share)
+		}
+		dur := math.Min(horizon, math.Max(0, end-now))
+		total += tj.Share * dur
+	}
+	return total
+}
+
+// Start begins executing j immediately with the given guaranteed share on
+// the given nodes. done fires at actual completion, after shares have been
+// released.
+func (t *TimeShared) Start(j *workload.Job, share float64, nodes []int, done func(*workload.Job)) error {
+	if share <= 0 || share > 1+workEps {
+		return fmt.Errorf("cluster: job %d share %v outside (0,1]", j.ID, share)
+	}
+	if len(nodes) != j.Procs {
+		return fmt.Errorf("cluster: job %d needs %d nodes, given %d", j.ID, j.Procs, len(nodes))
+	}
+	seen := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		if n < 0 || n >= len(t.nodes) {
+			return fmt.Errorf("cluster: job %d: node index %d out of range", j.ID, n)
+		}
+		if seen[n] {
+			return fmt.Errorf("cluster: job %d: node %d allocated twice", j.ID, n)
+		}
+		seen[n] = true
+		if t.FreeShare(n)+workEps < share {
+			return fmt.Errorf("cluster: job %d: node %d has free share %v < %v", j.ID, n, t.FreeShare(n), share)
+		}
+	}
+	if _, dup := t.running[j]; dup {
+		return fmt.Errorf("cluster: job %d already running", j.ID)
+	}
+	t.advance()
+	tj := &TSJob{
+		Job:       j,
+		Share:     share,
+		Nodes:     append([]int(nil), nodes...),
+		Start:     t.engine.Now(),
+		remaining: j.Runtime,
+		done:      done,
+	}
+	for _, n := range nodes {
+		t.nodes[n].booked = math.Min(1, t.nodes[n].booked+share)
+		t.nodes[n].jobs[tj] = struct{}{}
+	}
+	t.running[j] = tj
+	t.order = append(t.order, tj)
+	if j.Deadline > 0 {
+		tj.lapseEv = t.engine.MustSchedule(
+			sim.Time(math.Max(j.AbsDeadline(), float64(t.engine.Now()))),
+			fmt.Sprintf("lapse booking of job %d", j.ID),
+			func() { t.onLapse(tj) },
+		)
+	}
+	t.recompute()
+	return nil
+}
+
+// onLapse expires a still-running job's booking at its deadline.
+func (t *TimeShared) onLapse(tj *TSJob) {
+	tj.lapseEv = nil
+	if _, ok := t.running[tj.Job]; !ok {
+		return // completed in the same instant
+	}
+	t.advance()
+	tj.lapsed = true
+	for _, n := range tj.Nodes {
+		t.nodes[n].booked -= tj.Share
+		if t.nodes[n].booked < 0 {
+			t.nodes[n].booked = 0
+		}
+		t.nodes[n].lapsedWeight += tj.weight()
+	}
+	t.recompute()
+}
+
+// Utilization returns the machine's useful-work utilization from time zero
+// to the current instant: executed processor-seconds over capacity.
+func (t *TimeShared) Utilization() float64 {
+	t.advance()
+	now := float64(t.engine.Now())
+	if now <= 0 {
+		return 0
+	}
+	return t.busyIntegral / (float64(len(t.nodes)) * now)
+}
+
+// Kill terminates a running job immediately, releasing its share/weight
+// without invoking its completion callback. Used by the termination
+// extension (the paper's non-preemption future-work issue).
+func (t *TimeShared) Kill(j *workload.Job) error {
+	tj, ok := t.running[j]
+	if !ok {
+		return fmt.Errorf("cluster: kill of job %d, which is not running", j.ID)
+	}
+	t.advance()
+	delete(t.running, j)
+	kept := t.order[:0]
+	for _, o := range t.order {
+		if o != tj {
+			kept = append(kept, o)
+		}
+	}
+	t.order = kept
+	t.engine.Cancel(tj.lapseEv)
+	tj.lapseEv = nil
+	for _, n := range tj.Nodes {
+		if tj.lapsed {
+			t.nodes[n].lapsedWeight -= tj.weight()
+			if t.nodes[n].lapsedWeight < 0 {
+				t.nodes[n].lapsedWeight = 0
+			}
+		} else {
+			t.nodes[n].booked -= tj.Share
+			if t.nodes[n].booked < 0 {
+				t.nodes[n].booked = 0
+			}
+		}
+		delete(t.nodes[n].jobs, tj)
+	}
+	t.recompute()
+	return nil
+}
+
+// Lookup returns the running-state record for j, or nil.
+func (t *TimeShared) Lookup(j *workload.Job) *TSJob {
+	t.advance()
+	return t.running[j]
+}
+
+// advance integrates progress from the last update to the current time.
+func (t *TimeShared) advance() {
+	now := t.engine.Now()
+	dt := float64(now - t.lastUpdate)
+	if dt > 0 {
+		for _, tj := range t.order {
+			tj.progress += tj.rate * dt
+			tj.remaining -= tj.rate * dt
+			if tj.remaining < 0 {
+				tj.remaining = 0
+			}
+			t.busyIntegral += tj.rate * float64(tj.Job.Procs) * dt
+		}
+	}
+	t.lastUpdate = now
+}
+
+// recompute refreshes every job's execution rate and reschedules the next
+// completion event. Callers must advance() first.
+func (t *TimeShared) recompute() {
+	for _, tj := range t.order {
+		w := tj.weight()
+		rate := math.Inf(1)
+		for _, n := range tj.Nodes {
+			total := t.nodes[n].totalWeight()
+			frac := 1.0
+			if total > w {
+				frac = w / total
+			}
+			// The node delivers its weighted slice at its own speed; a
+			// parallel job advances at its slowest node.
+			if r := frac * t.nodes[n].rating; r < rate {
+				rate = r
+			}
+		}
+		tj.rate = rate
+	}
+	t.engine.Cancel(t.next)
+	t.next = nil
+	if len(t.running) == 0 {
+		return
+	}
+	soonest := sim.Infinity
+	for _, tj := range t.order {
+		eta := t.engine.Now() + sim.Time(tj.remaining/tj.rate)
+		if eta < soonest {
+			soonest = eta
+		}
+	}
+	t.next = t.engine.MustSchedule(soonest, "timeshared completion", t.onCompletion)
+}
+
+// onCompletion retires every job whose work is done, then reschedules.
+func (t *TimeShared) onCompletion() {
+	t.next = nil
+	t.advance()
+	var finished []*TSJob
+	kept := t.order[:0]
+	for _, tj := range t.order {
+		if tj.remaining <= workEps {
+			finished = append(finished, tj)
+			continue
+		}
+		kept = append(kept, tj)
+	}
+	t.order = kept
+	sort.Slice(finished, func(i, k int) bool { return finished[i].Job.ID < finished[k].Job.ID })
+	for _, tj := range finished {
+		delete(t.running, tj.Job)
+		t.engine.Cancel(tj.lapseEv)
+		tj.lapseEv = nil
+		for _, n := range tj.Nodes {
+			if tj.lapsed {
+				t.nodes[n].lapsedWeight -= tj.weight()
+				if t.nodes[n].lapsedWeight < 0 {
+					t.nodes[n].lapsedWeight = 0
+				}
+			} else {
+				t.nodes[n].booked -= tj.Share
+				if t.nodes[n].booked < 0 {
+					t.nodes[n].booked = 0
+				}
+			}
+			delete(t.nodes[n].jobs, tj)
+		}
+	}
+	t.recompute()
+	for _, tj := range finished {
+		if tj.done != nil {
+			tj.done(tj.Job)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package core is the top-level API of the reproduction: it ties the
+// substrate packages together into the workflow the paper describes — run a
+// commercial computing service simulation suite under an economic model,
+// perform separate and integrated risk analysis of its resource management
+// policies, rank them, and project a-priori risk for future situations.
+//
+// A typical use:
+//
+//	assessment, err := core.Assess(experiment.DefaultSuiteConfig(economy.Commodity, true))
+//	...
+//	best, err := assessment.BestByPerformance(risk.AllObjectives)
+//	fmt.Println("adopt policy:", best.Series.Policy)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/economy"
+	"repro/internal/experiment"
+	"repro/internal/risk"
+)
+
+// Assessment is the a-posteriori risk analysis of every policy of an
+// economic model over the full scenario grid.
+type Assessment struct {
+	results *experiment.Results
+}
+
+// Assess runs the full evaluation suite (12 scenarios × 6 values × 5
+// policies) and returns the assessment.
+func Assess(cfg experiment.SuiteConfig) (*Assessment, error) {
+	res, err := experiment.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Assessment{results: res}, nil
+}
+
+// FromResults wraps previously computed suite results (e.g. deserialized
+// or built by a custom runner).
+func FromResults(res *experiment.Results) *Assessment {
+	return &Assessment{results: res}
+}
+
+// Results exposes the raw per-cell reports.
+func (a *Assessment) Results() *experiment.Results { return a.results }
+
+// Model returns the economic model the assessment was run under.
+func (a *Assessment) Model() economy.Model { return a.results.Model }
+
+// Separate returns the separate risk analysis series of one objective —
+// one (performance, volatility) point per policy per scenario, i.e. one
+// panel of Figure 3 or 6.
+func (a *Assessment) Separate(obj risk.Objective) ([]risk.Series, error) {
+	return a.results.SeparateSeries(obj)
+}
+
+// Integrated returns the equal-weight integrated risk analysis series of a
+// combination of objectives — one panel of Figures 4, 5, 7, or 8.
+func (a *Assessment) Integrated(objs ...risk.Objective) ([]risk.Series, error) {
+	return a.results.IntegratedSeries(objs)
+}
+
+// IntegratedWeighted is Integrated with caller-chosen objective weights
+// (the paper's provider-controlled prioritization knob).
+func (a *Assessment) IntegratedWeighted(w risk.Weights, objs ...risk.Objective) ([]risk.Series, error) {
+	return a.results.IntegratedSeriesWeighted(objs, w)
+}
+
+// BestByPerformance ranks policies on the integrated analysis of the given
+// objectives and returns the winner under the paper's best-performance
+// criteria (Table III).
+func (a *Assessment) BestByPerformance(objs []risk.Objective) (risk.Ranked, error) {
+	series, err := a.Integrated(objs...)
+	if err != nil {
+		return risk.Ranked{}, err
+	}
+	ranked, err := risk.RankByPerformance(series)
+	if err != nil {
+		return risk.Ranked{}, err
+	}
+	return ranked[0], nil
+}
+
+// BestByVolatility is BestByPerformance under the best-volatility criteria
+// (Table IV).
+func (a *Assessment) BestByVolatility(objs []risk.Objective) (risk.Ranked, error) {
+	series, err := a.Integrated(objs...)
+	if err != nil {
+		return risk.Ranked{}, err
+	}
+	ranked, err := risk.RankByVolatility(series)
+	if err != nil {
+		return risk.Ranked{}, err
+	}
+	return ranked[0], nil
+}
+
+// Recommendation summarizes an assessment the way the paper's conclusion
+// does: the best policy per single objective and overall.
+type Recommendation struct {
+	Model economy.Model
+	Set   string
+	// PerObjective maps each objective to the policy with the best
+	// separate-analysis performance ranking.
+	PerObjective map[risk.Objective]string
+	// Overall is the best policy for the integrated analysis of all four
+	// objectives by performance; OverallSafest by volatility.
+	Overall       string
+	OverallSafest string
+}
+
+// Recommend computes the recommendation.
+func (a *Assessment) Recommend() (Recommendation, error) {
+	rec := Recommendation{
+		Model:        a.results.Model,
+		Set:          a.results.SetName,
+		PerObjective: make(map[risk.Objective]string, risk.NumObjectives),
+	}
+	for _, obj := range risk.AllObjectives {
+		series, err := a.Separate(obj)
+		if err != nil {
+			return Recommendation{}, err
+		}
+		ranked, err := risk.RankByPerformance(series)
+		if err != nil {
+			return Recommendation{}, err
+		}
+		rec.PerObjective[obj] = ranked[0].Series.Policy
+	}
+	best, err := a.BestByPerformance(risk.AllObjectives)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	rec.Overall = best.Series.Policy
+	safest, err := a.BestByVolatility(risk.AllObjectives)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	rec.OverallSafest = safest.Series.Policy
+	return rec, nil
+}
+
+// APriori fits the forward risk model to every policy's integrated series
+// and returns, for each, the estimated probability of falling below the
+// target performance in a future scenario.
+func (a *Assessment) APriori(objs []risk.Objective, targetPerformance float64) ([]risk.Projection, error) {
+	if targetPerformance < 0 || targetPerformance > 1 {
+		return nil, fmt.Errorf("core: target performance %v outside [0,1]", targetPerformance)
+	}
+	series, err := a.Integrated(objs...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]risk.Projection, 0, len(series))
+	for _, s := range series {
+		p, err := risk.Project(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

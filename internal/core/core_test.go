@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/experiment"
+	"repro/internal/risk"
+	"repro/internal/workload"
+)
+
+func smallAssessment(t *testing.T, model economy.Model, setB bool) *Assessment {
+	t.Helper()
+	cfg := experiment.DefaultSuiteConfig(model, setB)
+	cfg.Jobs = 100
+	cfg.Nodes = 32
+	synth := workload.DefaultSynthConfig()
+	synth.Widths = []int{1, 2, 4, 8, 16, 32}
+	synth.WidthWeights = []float64{0.3, 0.2, 0.2, 0.15, 0.1, 0.05}
+	synth.MeanInterArrival = 600
+	cfg.Synth = &synth
+	a, err := Assess(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAssessAndRecommend(t *testing.T) {
+	a := smallAssessment(t, economy.Commodity, false)
+	if a.Model() != economy.Commodity {
+		t.Errorf("Model() = %v", a.Model())
+	}
+	rec, err := a.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Set != "Set A" {
+		t.Errorf("Set = %q", rec.Set)
+	}
+	if len(rec.PerObjective) != risk.NumObjectives {
+		t.Fatalf("PerObjective has %d entries", len(rec.PerObjective))
+	}
+	valid := map[string]bool{}
+	for _, p := range a.Results().Policies {
+		valid[p] = true
+	}
+	for obj, p := range rec.PerObjective {
+		if !valid[p] {
+			t.Errorf("recommendation for %v is unknown policy %q", obj, p)
+		}
+	}
+	if !valid[rec.Overall] || !valid[rec.OverallSafest] {
+		t.Errorf("overall recommendations unknown: %q / %q", rec.Overall, rec.OverallSafest)
+	}
+	// The wait objective must recommend a Libra-family policy: they are
+	// the only ones with ideal zero wait.
+	if p := rec.PerObjective[risk.Wait]; p != "Libra" && p != "Libra+$" {
+		t.Errorf("wait recommendation = %q, want a Libra-family policy", p)
+	}
+}
+
+func TestSeparateAndIntegratedShapes(t *testing.T) {
+	a := smallAssessment(t, economy.BidBased, true)
+	sep, err := a.Separate(risk.Profitability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sep) != 5 {
+		t.Fatalf("separate series = %d, want 5", len(sep))
+	}
+	integ, err := a.Integrated(risk.AllObjectives...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(integ) != 5 {
+		t.Fatalf("integrated series = %d, want 5", len(integ))
+	}
+	for _, s := range integ {
+		if len(s.Points) != 12 {
+			t.Fatalf("%s has %d points, want 12", s.Policy, len(s.Points))
+		}
+	}
+}
+
+func TestIntegratedWeighted(t *testing.T) {
+	a := smallAssessment(t, economy.Commodity, false)
+	// All weight on wait: every Libra-family point must be ideal.
+	series, err := a.IntegratedWeighted(risk.Weights{risk.Wait: 1}, risk.Wait)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		if s.Policy != "Libra" && s.Policy != "Libra+$" {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.Performance != 1 || p.Volatility != 0 {
+				t.Errorf("%s wait-only integrated point = %+v, want (1,0)", s.Policy, p)
+			}
+		}
+	}
+}
+
+func TestBestRankings(t *testing.T) {
+	a := smallAssessment(t, economy.Commodity, false)
+	perf, err := a.BestByPerformance(risk.AllObjectives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := a.BestByVolatility(risk.AllObjectives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perf.Rank != 1 || vol.Rank != 1 {
+		t.Errorf("winners not rank 1: %d, %d", perf.Rank, vol.Rank)
+	}
+}
+
+func TestAPriori(t *testing.T) {
+	a := smallAssessment(t, economy.Commodity, false)
+	projections, err := a.APriori(risk.AllObjectives, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(projections) != 5 {
+		t.Fatalf("%d projections, want 5", len(projections))
+	}
+	for _, p := range projections {
+		r := p.RiskBelow(0.5)
+		if r < 0 || r > 1 {
+			t.Errorf("%s risk = %v outside [0,1]", p.Policy, r)
+		}
+	}
+	if _, err := a.APriori(risk.AllObjectives, 1.5); err == nil {
+		t.Error("target 1.5 accepted")
+	}
+}
+
+func TestFromResults(t *testing.T) {
+	a := smallAssessment(t, economy.Commodity, false)
+	b := FromResults(a.Results())
+	if b.Model() != a.Model() {
+		t.Error("FromResults lost the model")
+	}
+}
+
+func TestAssessPropagatesSuiteError(t *testing.T) {
+	cfg := experiment.DefaultSuiteConfig(economy.Commodity, false)
+	cfg.Jobs = 0
+	if _, err := Assess(cfg); err == nil {
+		t.Error("bad suite config accepted")
+	}
+}
+
+func TestIntegratedErrorPropagation(t *testing.T) {
+	a := smallAssessment(t, economy.Commodity, false)
+	// Bad weights must surface as an error.
+	if _, err := a.IntegratedWeighted(risk.Weights{risk.Wait: 0.5}, risk.Wait); err == nil {
+		t.Error("weights not summing to 1 accepted")
+	}
+	if _, err := a.BestByPerformance(nil); err == nil {
+		t.Error("empty objective combination accepted")
+	}
+	if _, err := a.BestByVolatility(nil); err == nil {
+		t.Error("empty objective combination accepted for volatility")
+	}
+	if _, err := a.APriori(nil, 0.5); err == nil {
+		t.Error("a-priori over no objectives accepted")
+	}
+}

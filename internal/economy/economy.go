@@ -1,0 +1,128 @@
+// Package economy implements the paper's two economic models and the
+// pricing functions the policies charge under them (§5.1, §5.2).
+//
+// Commodity market model: the provider quotes a price; a job whose expected
+// cost exceeds its budget is rejected; there is no penalty for missing a
+// deadline — the provider keeps charging the quoted price.
+//
+// Bid-based model: the user's budget is a bid earned in full when the job
+// meets its deadline; past the deadline the utility decreases linearly at
+// the job's penalty rate, without bound (Figure 2).
+package economy
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Model selects the economic model an experiment runs under.
+type Model int
+
+const (
+	// Commodity is the commodity market model.
+	Commodity Model = iota
+	// BidBased is the bid-based model with linear unbounded penalties.
+	BidBased
+)
+
+// String returns the model's name.
+func (m Model) String() string {
+	switch m {
+	case Commodity:
+		return "commodity"
+	case BidBased:
+		return "bid-based"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Default pricing constants from the paper's experimental setup.
+const (
+	// DefaultBasePrice is PBase, $1 per second of (estimated) runtime.
+	DefaultBasePrice = 1.0
+	// DefaultGamma and DefaultDelta parameterize Libra's static pricing
+	// (both 1 in the experiments).
+	DefaultGamma = 1.0
+	DefaultDelta = 1.0
+	// DefaultAlpha and DefaultBeta weight Libra+$'s static and dynamic
+	// pricing components (1 and 0.3 in the experiments).
+	DefaultAlpha = 1.0
+	DefaultBeta  = 0.3
+)
+
+// Delay returns the completion delay of a job finished at the given
+// absolute time: zero when the deadline was met (Eq. 10).
+func Delay(j *workload.Job, finish float64) float64 {
+	dy := (finish - j.Submit) - j.Deadline
+	if dy < 0 {
+		return 0
+	}
+	return dy
+}
+
+// BidUtility returns the utility the provider earns for a job under the
+// bid-based model (Eq. 9): the full budget when on time, decreasing
+// linearly at the penalty rate afterwards, unbounded below.
+func BidUtility(j *workload.Job, finish float64) float64 {
+	return j.Budget - Delay(j, finish)*j.PenaltyRate
+}
+
+// BoundedBidUtility is the bounded-penalty variant of BidUtility
+// (Irwin et al. analyze both; the paper's experiments use the unbounded
+// form): the provider's loss on a job is capped at the job's own value, so
+// utility never falls below −budget.
+func BoundedBidUtility(j *workload.Job, finish float64) float64 {
+	u := BidUtility(j, finish)
+	if u < -j.Budget {
+		return -j.Budget
+	}
+	return u
+}
+
+// BaseCharge is the commodity charge of the backfilling policies: the
+// estimated runtime at the base price (tr·PBase). Estimates, not actual
+// runtimes, are charged — which is how over-estimation inflates commodity
+// revenue in the paper's Set B discussion.
+func BaseCharge(estimate, basePrice float64) float64 {
+	return estimate * basePrice
+}
+
+// LibraCharge is Libra's static commodity pricing (γ·tr + δ·tr/d): longer
+// jobs pay more, and tighter deadlines pay a larger incentive component.
+func LibraCharge(estimate, deadline, gamma, delta float64) float64 {
+	return gamma*estimate + delta*estimate/deadline
+}
+
+// resFreeFloor guards the Libra+$ dynamic component against a fully
+// saturated node: the quoted price becomes very large (and the job is then
+// rejected against its budget) instead of dividing by zero.
+const resFreeFloor = 1e-3
+
+// LibraDollarPricePerSec is Libra+$'s per-second price on one node,
+// P = α·PBase + β·PUtil with PUtil = RESMax/RESFree·PBase. RESMax is the
+// node's capacity over the job's deadline window and RESFree what remains
+// after committing the job, so the ratio reduces to 1/freeFracAfter.
+func LibraDollarPricePerSec(basePrice, alpha, beta, freeFracAfter float64) float64 {
+	if freeFracAfter < resFreeFloor {
+		freeFracAfter = resFreeFloor
+	}
+	return alpha*basePrice + beta*basePrice/freeFracAfter
+}
+
+// LibraDollarCharge is the job's total Libra+$ charge: the estimated
+// runtime at the highest per-second price among its allocated nodes (the
+// paper's revenue-maximizing choice).
+func LibraDollarCharge(estimate float64, perSecPrices []float64) float64 {
+	if len(perSecPrices) == 0 {
+		return 0
+	}
+	max := perSecPrices[0]
+	for _, p := range perSecPrices[1:] {
+		if p > max {
+			max = p
+		}
+	}
+	return estimate * max
+}

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/risk"
+)
+
+// Crossover marks a point within one scenario's parameter sweep where the
+// lead between two policies flips on one objective — the "where do the
+// curves cross" question a provider asks when the best policy depends on
+// the operating point (e.g. Libra leads EDF-BF on SLA at low estimate
+// inaccuracy and trails it at high inaccuracy).
+type Crossover struct {
+	Scenario  string
+	Objective risk.Objective
+	PolicyA   string
+	PolicyB   string
+	// Value is the scenario parameter at which the curves cross, linearly
+	// interpolated between the two bracketing sweep values.
+	Value float64
+	// LeaderBefore and LeaderAfter name the better policy on each side.
+	LeaderBefore string
+	LeaderAfter  string
+}
+
+// goodness orients an objective so larger is always better.
+func goodness(obj risk.Objective, raw float64) float64 {
+	if obj == risk.Wait {
+		return -raw
+	}
+	return raw
+}
+
+// FindCrossovers scans every scenario of the results for lead changes
+// between policies a and b on the given objective. Ties (exactly equal
+// values) are treated as continuations of the previous leader.
+func FindCrossovers(res *Results, obj risk.Objective, a, b string) ([]Crossover, error) {
+	var out []Crossover
+	for _, sc := range res.Scenarios {
+		var prevDiff float64
+		havePrev := false
+		for vi := range sc.Values {
+			ra, okA := sc.Reports[vi][a]
+			rb, okB := sc.Reports[vi][b]
+			if !okA || !okB {
+				return nil, fmt.Errorf("experiment: missing report for %s/%s at %s[%d]", a, b, sc.Name, vi)
+			}
+			diff := goodness(obj, risk.Raw(obj, ra)) - goodness(obj, risk.Raw(obj, rb))
+			if havePrev && diff != 0 && prevDiff != 0 && (diff > 0) != (prevDiff > 0) {
+				// Linear interpolation of the crossing parameter value.
+				x0, x1 := sc.Values[vi-1], sc.Values[vi]
+				frac := prevDiff / (prevDiff - diff)
+				cross := Crossover{
+					Scenario:  sc.Name,
+					Objective: obj,
+					PolicyA:   a,
+					PolicyB:   b,
+					Value:     x0 + frac*(x1-x0),
+				}
+				if prevDiff > 0 {
+					cross.LeaderBefore, cross.LeaderAfter = a, b
+				} else {
+					cross.LeaderBefore, cross.LeaderAfter = b, a
+				}
+				out = append(out, cross)
+			}
+			if diff != 0 {
+				prevDiff = diff
+				havePrev = true
+			}
+		}
+	}
+	return out, nil
+}

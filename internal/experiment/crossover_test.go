@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/metrics"
+	"repro/internal/risk"
+)
+
+// synthetic results with hand-built SLA curves for two policies.
+func crossoverFixture(slaA, slaB []float64) *Results {
+	n := len(slaA)
+	values := make([]float64, n)
+	reports := make([]map[string]metrics.Report, n)
+	for i := 0; i < n; i++ {
+		values[i] = float64(i * 20)
+		reports[i] = map[string]metrics.Report{
+			"A": {SLA: slaA[i]},
+			"B": {SLA: slaB[i]},
+		}
+	}
+	return &Results{
+		Model:    economy.Commodity,
+		SetName:  "Set A",
+		Policies: []string{"A", "B"},
+		Scenarios: []ScenarioResult{{
+			Name:    "inaccuracy",
+			Values:  values,
+			Reports: reports,
+		}},
+	}
+}
+
+func TestFindCrossoversSingle(t *testing.T) {
+	// A starts ahead, B overtakes between values 40 and 60.
+	res := crossoverFixture(
+		[]float64{90, 85, 80, 60, 50, 40},
+		[]float64{70, 72, 74, 76, 78, 80},
+	)
+	crossings, err := FindCrossovers(res, risk.SLA, "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crossings) != 1 {
+		t.Fatalf("found %d crossings, want 1: %+v", len(crossings), crossings)
+	}
+	c := crossings[0]
+	if c.LeaderBefore != "A" || c.LeaderAfter != "B" {
+		t.Errorf("leaders = %s -> %s, want A -> B", c.LeaderBefore, c.LeaderAfter)
+	}
+	// Diffs at 40: +6, at 60: -16; crossing at 40 + 6/22·20 ≈ 45.45.
+	if math.Abs(c.Value-(40+6.0/22*20)) > 1e-9 {
+		t.Errorf("crossing value = %v, want ≈45.45", c.Value)
+	}
+	if c.Scenario != "inaccuracy" || c.Objective != risk.SLA {
+		t.Errorf("labels wrong: %+v", c)
+	}
+}
+
+func TestFindCrossoversNone(t *testing.T) {
+	res := crossoverFixture(
+		[]float64{90, 85, 80, 75, 70, 65},
+		[]float64{60, 60, 60, 60, 60, 60},
+	)
+	crossings, err := FindCrossovers(res, risk.SLA, "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crossings) != 0 {
+		t.Errorf("found %d crossings, want 0", len(crossings))
+	}
+}
+
+func TestFindCrossoversMultiple(t *testing.T) {
+	res := crossoverFixture(
+		[]float64{90, 50, 90, 50, 90, 50},
+		[]float64{70, 70, 70, 70, 70, 70},
+	)
+	crossings, err := FindCrossovers(res, risk.SLA, "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crossings) != 5 {
+		t.Errorf("found %d crossings, want 5", len(crossings))
+	}
+}
+
+func TestFindCrossoversTieContinuation(t *testing.T) {
+	// A touches B exactly, then pulls ahead again: no crossover.
+	res := crossoverFixture(
+		[]float64{90, 70, 90, 90, 90, 90},
+		[]float64{70, 70, 70, 70, 70, 70},
+	)
+	crossings, err := FindCrossovers(res, risk.SLA, "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crossings) != 0 {
+		t.Errorf("tie produced %d crossings, want 0", len(crossings))
+	}
+}
+
+func TestFindCrossoversWaitOrientation(t *testing.T) {
+	// Lower wait is better: A's wait rises past B's — B takes the lead.
+	n := 6
+	values := make([]float64, n)
+	reports := make([]map[string]metrics.Report, n)
+	for i := 0; i < n; i++ {
+		values[i] = float64(i)
+		reports[i] = map[string]metrics.Report{
+			"A": {Wait: float64(i) * 100},
+			"B": {Wait: 250},
+		}
+	}
+	res := &Results{
+		Policies:  []string{"A", "B"},
+		Scenarios: []ScenarioResult{{Name: "workload", Values: values, Reports: reports}},
+	}
+	crossings, err := FindCrossovers(res, risk.Wait, "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crossings) != 1 || crossings[0].LeaderBefore != "A" || crossings[0].LeaderAfter != "B" {
+		t.Fatalf("wait crossover wrong: %+v", crossings)
+	}
+	if math.Abs(crossings[0].Value-2.5) > 1e-9 {
+		t.Errorf("crossing at %v, want 2.5", crossings[0].Value)
+	}
+}
+
+func TestFindCrossoversMissingPolicy(t *testing.T) {
+	res := crossoverFixture([]float64{1}, []float64{2})
+	if _, err := FindCrossovers(res, risk.SLA, "A", "Z"); err == nil {
+		t.Error("missing policy accepted")
+	}
+}
+
+// Real crossover on the paper's workload: in the inaccuracy scenario,
+// Libra leads EDF-BF on SLA with accurate estimates and trails it with
+// fully inaccurate ones, so a crossover must exist somewhere in between.
+func TestInaccuracyCrossoverLibraVsEDF(t *testing.T) {
+	res, err := Run(smallSuite(economy.Commodity, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inacc *ScenarioResult
+	for i := range res.Scenarios {
+		if res.Scenarios[i].Name == "inaccuracy" {
+			inacc = &res.Scenarios[i]
+			break
+		}
+	}
+	if inacc == nil {
+		t.Fatal("no inaccuracy scenario")
+	}
+	first := inacc.Reports[0]
+	last := inacc.Reports[len(inacc.Reports)-1]
+	if !(first["Libra"].SLA > first["EDF-BF"].SLA && last["Libra"].SLA < last["EDF-BF"].SLA) {
+		t.Skip("this reduced workload does not exhibit the flip; paper scale does")
+	}
+	crossings, err := FindCrossovers(res, risk.SLA, "Libra", "EDF-BF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range crossings {
+		if c.Scenario == "inaccuracy" && c.LeaderBefore == "Libra" && c.LeaderAfter == "EDF-BF" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no Libra->EDF-BF crossover found in inaccuracy scenario: %+v", crossings)
+	}
+}

@@ -1,0 +1,442 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/risk"
+	"repro/internal/scheduler"
+	"repro/internal/workload"
+)
+
+// Table VI: twelve scenarios with six values each, covering job mix,
+// workload, inaccuracy, and bias/ratio/mean for each QoS parameter.
+func TestTableVIScenarios(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) != 12 {
+		t.Fatalf("got %d scenarios, want 12", len(scs))
+	}
+	wantNames := []string{
+		"job mix", "workload", "inaccuracy",
+		"deadline bias", "budget bias", "penalty bias",
+		"deadline high:low ratio", "budget high:low ratio", "penalty high:low ratio",
+		"deadline low-value mean", "budget low-value mean", "penalty low-value mean",
+	}
+	for i, sc := range scs {
+		if sc.Name != wantNames[i] {
+			t.Errorf("scenario %d = %q, want %q", i, sc.Name, wantNames[i])
+		}
+		if len(sc.Values) != 6 {
+			t.Errorf("scenario %q has %d values, want 6", sc.Name, len(sc.Values))
+		}
+	}
+	// Spot-check the Table VI value grids.
+	if sc, _ := ScenarioByName("workload"); sc.Values[0] != 0.02 || sc.Values[5] != 1.00 {
+		t.Errorf("workload values = %v", sc.Values)
+	}
+	if sc, _ := ScenarioByName("job mix"); sc.Values[0] != 0 || sc.Values[5] != 100 {
+		t.Errorf("job mix values = %v", sc.Values)
+	}
+	if sc, _ := ScenarioByName("deadline bias"); sc.Values[1] != 2 || sc.Values[5] != 10 {
+		t.Errorf("deadline bias values = %v", sc.Values)
+	}
+	if _, ok := ScenarioByName("nope"); ok {
+		t.Error("unknown scenario found")
+	}
+}
+
+// Each scenario's Apply must change exactly its own dimension.
+func TestScenarioApplyTargetsOwnDimension(t *testing.T) {
+	for _, sc := range Scenarios() {
+		base := DefaultParams(0)
+		p := base
+		sc.Apply(&p, sc.Values[5])
+		diffs := 0
+		if p.HighUrgencyFrac != base.HighUrgencyFrac {
+			diffs++
+		}
+		if p.ArrivalFactor != base.ArrivalFactor {
+			diffs++
+		}
+		if p.InaccuracyPct != base.InaccuracyPct {
+			diffs++
+		}
+		for _, pair := range [][2]float64{
+			{p.DeadlineBias, base.DeadlineBias}, {p.BudgetBias, base.BudgetBias}, {p.PenaltyBias, base.PenaltyBias},
+			{p.DeadlineRatio, base.DeadlineRatio}, {p.BudgetRatio, base.BudgetRatio}, {p.PenaltyRatio, base.PenaltyRatio},
+			{p.DeadlineMean, base.DeadlineMean}, {p.BudgetMean, base.BudgetMean}, {p.PenaltyMean, base.PenaltyMean},
+		} {
+			if pair[0] != pair[1] {
+				diffs++
+			}
+		}
+		if diffs != 1 {
+			t.Errorf("scenario %q changed %d dimensions, want 1", sc.Name, diffs)
+		}
+	}
+}
+
+func TestDefaultParamsValidate(t *testing.T) {
+	if err := DefaultParams(0).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := DefaultParams(100).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := DefaultParams(0)
+	bad.ArrivalFactor = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero arrival factor accepted")
+	}
+	bad = DefaultParams(0)
+	bad.InaccuracyPct = 120
+	if err := bad.Validate(); err == nil {
+		t.Error("inaccuracy 120 accepted")
+	}
+	bad = DefaultParams(0)
+	bad.PenaltyMean = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative penalty mean accepted")
+	}
+}
+
+func TestQoSConfigPropagation(t *testing.T) {
+	p := DefaultParams(40)
+	p.DeadlineMean = 7
+	p.BudgetRatio = 9
+	p.PenaltyBias = 3
+	cfg := p.QoSConfig(5)
+	if cfg.InaccuracyPct != 40 || cfg.Deadline.LowMean != 7 || cfg.Budget.HighLowRatio != 9 || cfg.Penalty.Bias != 3 {
+		t.Errorf("QoSConfig lost parameters: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// smallSuite shrinks a suite to test scale.
+func smallSuite(model economy.Model, setB bool) SuiteConfig {
+	cfg := DefaultSuiteConfig(model, setB)
+	cfg.Jobs = 120
+	cfg.Nodes = 32
+	synth := workload.DefaultSynthConfig()
+	synth.Widths = []int{1, 2, 4, 8, 16, 32}
+	synth.WidthWeights = []float64{0.3, 0.2, 0.2, 0.15, 0.1, 0.05}
+	synth.MeanInterArrival = 600
+	cfg.Synth = &synth
+	return cfg
+}
+
+func TestSuiteRunShape(t *testing.T) {
+	res, err := Run(smallSuite(economy.Commodity, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SetName != "Set A" {
+		t.Errorf("SetName = %q", res.SetName)
+	}
+	if len(res.Policies) != 5 {
+		t.Fatalf("policies = %v, want 5", res.Policies)
+	}
+	if len(res.Scenarios) != 12 {
+		t.Fatalf("scenarios = %d, want 12", len(res.Scenarios))
+	}
+	for _, sc := range res.Scenarios {
+		if len(sc.Reports) != 6 {
+			t.Fatalf("%s has %d value cells, want 6", sc.Name, len(sc.Reports))
+		}
+		for vi, cell := range sc.Reports {
+			if len(cell) != 5 {
+				t.Fatalf("%s[%d] has %d policy reports, want 5", sc.Name, vi, len(cell))
+			}
+			for p, rep := range cell {
+				if rep.Submitted != 120 {
+					t.Fatalf("%s[%d]/%s submitted = %d, want 120", sc.Name, vi, p, rep.Submitted)
+				}
+			}
+		}
+	}
+}
+
+func TestSuiteSeparateSeries(t *testing.T) {
+	res, err := Run(smallSuite(economy.Commodity, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range risk.AllObjectives {
+		series, err := res.SeparateSeries(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series) != 5 {
+			t.Fatalf("%v: %d series, want 5", obj, len(series))
+		}
+		for _, s := range series {
+			if len(s.Points) != 12 {
+				t.Fatalf("%v/%s: %d points, want 12", obj, s.Policy, len(s.Points))
+			}
+			for _, pt := range s.Points {
+				if pt.Performance < 0 || pt.Performance > 1 || pt.Volatility < 0 || pt.Volatility > 0.5+1e-9 {
+					t.Fatalf("%v/%s: point %+v out of range (volatility of [0,1] data is ≤ 0.5)", obj, s.Policy, pt)
+				}
+			}
+		}
+	}
+	// Libra family must sit at ideal wait (performance 1, volatility 0).
+	series, _ := res.SeparateSeries(risk.Wait)
+	for _, s := range series {
+		if s.Policy != "Libra" && s.Policy != "Libra+$" {
+			continue
+		}
+		for i, pt := range s.Points {
+			if pt.Performance != 1 || pt.Volatility != 0 {
+				t.Errorf("%s wait point %d = %+v, want ideal (1, 0)", s.Policy, i, pt)
+			}
+		}
+	}
+}
+
+func TestSuiteIntegratedSeries(t *testing.T) {
+	res, err := Run(smallSuite(economy.BidBased, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := res.IntegratedSeries(risk.AllObjectives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("%d integrated series, want 5", len(all))
+	}
+	for _, s := range all {
+		if len(s.Points) != 12 {
+			t.Fatalf("%s: %d points, want 12", s.Policy, len(s.Points))
+		}
+	}
+	// Integration with a delta weight on one objective reproduces the
+	// separate analysis of that objective.
+	sep, err := res.SeparateSeries(risk.SLA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := res.IntegratedSeriesWeighted([]risk.Objective{risk.SLA}, risk.Weights{risk.SLA: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sep {
+		for k := range sep[i].Points {
+			if math.Abs(sep[i].Points[k].Performance-delta[i].Points[k].Performance) > 1e-12 {
+				t.Fatalf("delta-weighted integration diverges from separate analysis")
+			}
+		}
+	}
+}
+
+func TestObjectiveTriples(t *testing.T) {
+	triples := ObjectiveTriples()
+	if len(triples) != 4 {
+		t.Fatalf("%d triples, want 4", len(triples))
+	}
+	for i, tr := range triples {
+		if len(tr) != 3 {
+			t.Fatalf("triple %d has %d objectives", i, len(tr))
+		}
+		for _, o := range tr {
+			if o == risk.AllObjectives[i] {
+				t.Errorf("triple %d still contains dropped objective %v", i, o)
+			}
+		}
+	}
+}
+
+func TestRunCellSingle(t *testing.T) {
+	cfg := smallSuite(economy.Commodity, false)
+	spec, err := scheduler.SpecByName("Libra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunCell(cfg, DefaultParams(0), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted != cfg.Jobs {
+		t.Errorf("submitted = %d, want %d", rep.Submitted, cfg.Jobs)
+	}
+	if rep.Wait != 0 {
+		t.Errorf("Libra wait = %v, want 0", rep.Wait)
+	}
+}
+
+func TestSuiteRejectsBadConfig(t *testing.T) {
+	cfg := smallSuite(economy.Commodity, false)
+	cfg.Jobs = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero jobs accepted")
+	}
+	cfg = smallSuite(economy.Commodity, false)
+	cfg.Nodes = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+// The suite must be deterministic regardless of worker count.
+func TestSuiteDeterministicAcrossWorkers(t *testing.T) {
+	cfg := smallSuite(economy.Commodity, true)
+	cfg.Jobs = 60
+	cfg.Workers = 1
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range a.Scenarios {
+		for vi := range a.Scenarios[si].Reports {
+			for p, ra := range a.Scenarios[si].Reports[vi] {
+				rb := b.Scenarios[si].Reports[vi][p]
+				if ra != rb {
+					t.Fatalf("worker-count nondeterminism at %s[%d]/%s", a.Scenarios[si].Name, vi, p)
+				}
+			}
+		}
+	}
+}
+
+// Trace override: supplying an explicit trace bypasses generation.
+func TestSuiteWithExplicitTrace(t *testing.T) {
+	synth := workload.DefaultSynthConfig()
+	synth.Jobs = 50
+	synth.Widths = []int{1, 2, 4}
+	synth.WidthWeights = []float64{0.5, 0.3, 0.2}
+	trace, err := workload.Generate(synth, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSuiteConfig(economy.Commodity, false)
+	cfg.Trace = trace
+	cfg.Nodes = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scenarios[0].Reports[0]["Libra"].Submitted; got != 50 {
+		t.Errorf("submitted = %d, want 50 (explicit trace)", got)
+	}
+}
+
+func TestSeriesCarryScenarioLabels(t *testing.T) {
+	res, err := Run(smallSuite(economy.Commodity, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, err := res.SeparateSeries(risk.SLA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	integ, err := res.IntegratedSeries(risk.AllObjectives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range [][]risk.Series{sep, integ} {
+		for _, s := range series {
+			if len(s.Labels) != len(s.Points) {
+				t.Fatalf("%s: %d labels for %d points", s.Policy, len(s.Labels), len(s.Points))
+			}
+			if s.Labels[0] != "job mix" || s.Labels[1] != "workload" {
+				t.Errorf("%s labels = %v...", s.Policy, s.Labels[:2])
+			}
+		}
+	}
+}
+
+func TestRunCellDetailed(t *testing.T) {
+	cfg := smallSuite(economy.BidBased, true)
+	spec, err := scheduler.SpecByName("LibraRiskD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, outcomes, err := RunCellDetailed(cfg, DefaultParams(100), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != rep.Submitted {
+		t.Fatalf("%d outcomes for %d submitted", len(outcomes), rep.Submitted)
+	}
+	fulfilled := 0
+	for _, o := range outcomes {
+		if o.SLAFulfilled() {
+			fulfilled++
+		}
+	}
+	if fulfilled != rep.SLAFulfilled {
+		t.Errorf("outcome fulfilment %d != report %d", fulfilled, rep.SLAFulfilled)
+	}
+}
+
+func TestReplicationsSmoothButPreserveShape(t *testing.T) {
+	cfg := smallSuite(economy.Commodity, false)
+	cfg.Jobs = 80
+	single, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Replications = 3
+	tripled, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape invariants hold for the averaged reports too.
+	rep := tripled.Scenarios[0].Reports[0]["Libra"]
+	if rep.Wait != 0 {
+		t.Errorf("replicated Libra wait = %v, want 0", rep.Wait)
+	}
+	if rep.Submitted != 80 {
+		t.Errorf("replicated submitted = %d", rep.Submitted)
+	}
+	// And the averaged value differs from the single-seed one somewhere
+	// (three different traces cannot agree everywhere).
+	same := true
+	for si := range single.Scenarios {
+		for vi := range single.Scenarios[si].Reports {
+			for p, r1 := range single.Scenarios[si].Reports[vi] {
+				if r1 != tripled.Scenarios[si].Reports[vi][p] {
+					same = false
+				}
+			}
+		}
+	}
+	if same {
+		t.Error("replicated results identical to single seed")
+	}
+}
+
+func TestScenarioFilter(t *testing.T) {
+	cfg := smallSuite(economy.Commodity, false)
+	cfg.ScenarioFilter = []string{"workload", "inaccuracy"}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 2 {
+		t.Fatalf("filtered suite has %d scenarios, want 2", len(res.Scenarios))
+	}
+	if res.Scenarios[0].Name != "workload" || res.Scenarios[1].Name != "inaccuracy" {
+		t.Errorf("scenario order: %s, %s", res.Scenarios[0].Name, res.Scenarios[1].Name)
+	}
+	series, err := res.SeparateSeries(risk.SLA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series[0].Points) != 2 {
+		t.Errorf("series has %d points, want 2", len(series[0].Points))
+	}
+	cfg.ScenarioFilter = []string{"no such scenario"}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown scenario filter accepted")
+	}
+}

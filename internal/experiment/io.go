@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/economy"
+	"repro/internal/metrics"
+)
+
+// resultsJSON is the stable on-disk shape of Results. Reports are keyed by
+// policy name exactly as in memory; the model travels as its string name
+// so files stay readable.
+type resultsJSON struct {
+	Model     string               `json:"model"`
+	SetName   string               `json:"set"`
+	Policies  []string             `json:"policies"`
+	Scenarios []scenarioResultJSON `json:"scenarios"`
+}
+
+type scenarioResultJSON struct {
+	Name    string                      `json:"name"`
+	Values  []float64                   `json:"values"`
+	Reports []map[string]metrics.Report `json:"reports"`
+}
+
+// WriteJSON serializes the results so a later process (or cmd/riskplot)
+// can re-analyze them without re-running 2880 simulations.
+func (r *Results) WriteJSON(w io.Writer) error {
+	out := resultsJSON{
+		Model:    r.Model.String(),
+		SetName:  r.SetName,
+		Policies: r.Policies,
+	}
+	for _, sc := range r.Scenarios {
+		out.Scenarios = append(out.Scenarios, scenarioResultJSON{
+			Name:    sc.Name,
+			Values:  sc.Values,
+			Reports: sc.Reports,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes results written by WriteJSON.
+func ReadJSON(r io.Reader) (*Results, error) {
+	var in resultsJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("experiment: decoding results: %w", err)
+	}
+	var model economy.Model
+	switch in.Model {
+	case economy.Commodity.String():
+		model = economy.Commodity
+	case economy.BidBased.String():
+		model = economy.BidBased
+	default:
+		return nil, fmt.Errorf("experiment: unknown model %q in results file", in.Model)
+	}
+	out := &Results{Model: model, SetName: in.SetName, Policies: in.Policies}
+	for _, sc := range in.Scenarios {
+		if len(sc.Reports) != len(sc.Values) {
+			return nil, fmt.Errorf("experiment: scenario %q has %d report cells for %d values",
+				sc.Name, len(sc.Reports), len(sc.Values))
+		}
+		for vi, cell := range sc.Reports {
+			for _, p := range in.Policies {
+				if _, ok := cell[p]; !ok {
+					return nil, fmt.Errorf("experiment: scenario %q value %d missing policy %q",
+						sc.Name, vi, p)
+				}
+			}
+		}
+		out.Scenarios = append(out.Scenarios, ScenarioResult{
+			Name:    sc.Name,
+			Values:  sc.Values,
+			Reports: sc.Reports,
+		})
+	}
+	return out, nil
+}

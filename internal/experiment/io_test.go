@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/risk"
+)
+
+func TestResultsJSONRoundTrip(t *testing.T) {
+	orig, err := Run(smallSuite(economy.BidBased, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Model != orig.Model || back.SetName != orig.SetName {
+		t.Errorf("identity lost: %v/%s vs %v/%s", back.Model, back.SetName, orig.Model, orig.SetName)
+	}
+	if len(back.Scenarios) != len(orig.Scenarios) {
+		t.Fatalf("scenario count %d vs %d", len(back.Scenarios), len(orig.Scenarios))
+	}
+	for si := range orig.Scenarios {
+		for vi := range orig.Scenarios[si].Reports {
+			for p, ra := range orig.Scenarios[si].Reports[vi] {
+				rb := back.Scenarios[si].Reports[vi][p]
+				if ra != rb {
+					t.Fatalf("report mismatch at %s[%d]/%s", orig.Scenarios[si].Name, vi, p)
+				}
+			}
+		}
+	}
+	// The round-tripped results must produce identical risk series.
+	so, err := orig.SeparateSeries(risk.Profitability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := back.SeparateSeries(risk.Profitability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range so {
+		for k := range so[i].Points {
+			if so[i].Points[k] != sb[i].Points[k] {
+				t.Fatal("risk series diverge after round trip")
+			}
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"model":"martian","set":"Set A"}`)); err == nil {
+		t.Error("unknown model accepted")
+	}
+	// Mismatched values/reports lengths.
+	bad := `{"model":"commodity","set":"Set A","policies":["Libra"],
+	 "scenarios":[{"name":"x","values":[1,2],"reports":[{"Libra":{}}]}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("ragged scenario accepted")
+	}
+	// Missing policy in a cell.
+	bad = `{"model":"commodity","set":"Set A","policies":["Libra","FCFS-BF"],
+	 "scenarios":[{"name":"x","values":[1],"reports":[{"Libra":{}}]}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("missing policy accepted")
+	}
+}

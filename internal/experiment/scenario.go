@@ -1,0 +1,49 @@
+package experiment
+
+// Scenario is one row of Table VI: a named dimension varied over six
+// values, everything else held at the default.
+type Scenario struct {
+	// Name identifies the scenario (e.g. "workload", "deadline bias").
+	Name string
+	// Values are the six varying values in the paper's order.
+	Values []float64
+	// Apply overrides the scenario's dimension in a parameter set.
+	Apply func(p *Params, v float64)
+}
+
+var (
+	pctValues    = []float64{0, 20, 40, 60, 80, 100}
+	loadValues   = []float64{0.02, 0.10, 0.25, 0.50, 0.75, 1.00}
+	factorValues = []float64{1, 2, 4, 6, 8, 10}
+)
+
+// Scenarios returns the twelve Table VI scenarios. The varying-bias,
+// varying-ratio, and varying-mean scenarios exist once per QoS parameter
+// (deadline, budget, penalty), joining the job-mix, workload, and
+// inaccuracy scenarios.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{"job mix", pctValues, func(p *Params, v float64) { p.HighUrgencyFrac = v / 100 }},
+		{"workload", loadValues, func(p *Params, v float64) { p.ArrivalFactor = v }},
+		{"inaccuracy", pctValues, func(p *Params, v float64) { p.InaccuracyPct = v }},
+		{"deadline bias", factorValues, func(p *Params, v float64) { p.DeadlineBias = v }},
+		{"budget bias", factorValues, func(p *Params, v float64) { p.BudgetBias = v }},
+		{"penalty bias", factorValues, func(p *Params, v float64) { p.PenaltyBias = v }},
+		{"deadline high:low ratio", factorValues, func(p *Params, v float64) { p.DeadlineRatio = v }},
+		{"budget high:low ratio", factorValues, func(p *Params, v float64) { p.BudgetRatio = v }},
+		{"penalty high:low ratio", factorValues, func(p *Params, v float64) { p.PenaltyRatio = v }},
+		{"deadline low-value mean", factorValues, func(p *Params, v float64) { p.DeadlineMean = v }},
+		{"budget low-value mean", factorValues, func(p *Params, v float64) { p.BudgetMean = v }},
+		{"penalty low-value mean", factorValues, func(p *Params, v float64) { p.PenaltyMean = v }},
+	}
+}
+
+// ScenarioByName looks a scenario up by name.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/risk"
+)
+
+// SeparateSeries computes, for each policy, the separate risk analysis of
+// one objective across all scenarios (one point per scenario): the input of
+// a Figure 3/6-style plot.
+func (r *Results) SeparateSeries(obj risk.Objective) ([]risk.Series, error) {
+	series := make([]risk.Series, len(r.Policies))
+	for i, p := range r.Policies {
+		series[i] = risk.Series{Policy: p, Points: make([]risk.Point, 0, len(r.Scenarios))}
+	}
+	for si, sc := range r.Scenarios {
+		for i := range series {
+			series[i].Labels = append(series[i].Labels, r.Scenarios[si].Name)
+		}
+		normalized := make(map[string][]float64, len(r.Policies))
+		for vi := range sc.Values {
+			raw := make(map[string]float64, len(r.Policies))
+			for _, p := range r.Policies {
+				rep, ok := sc.Reports[vi][p]
+				if !ok {
+					return nil, fmt.Errorf("experiment: missing report for %s at %s[%d]", p, sc.Name, vi)
+				}
+				raw[p] = risk.Raw(obj, rep)
+			}
+			for p, n := range risk.NormalizeAcross(obj, raw) {
+				normalized[p] = append(normalized[p], n)
+			}
+		}
+		for i, p := range r.Policies {
+			pt, err := risk.Separate(normalized[p])
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s/%s: %w", p, sc.Name, err)
+			}
+			series[i].Points = append(series[i].Points, pt)
+		}
+	}
+	return series, nil
+}
+
+// IntegratedSeries computes, for each policy, the integrated risk analysis
+// of the given objectives (equal weights) across all scenarios: the input
+// of a Figure 4/5/7/8-style plot.
+func (r *Results) IntegratedSeries(objs []risk.Objective) ([]risk.Series, error) {
+	return r.IntegratedSeriesWeighted(objs, risk.EqualWeights(objs))
+}
+
+// IntegratedSeriesWeighted is IntegratedSeries with explicit weights (used
+// by the weight-sensitivity ablation).
+func (r *Results) IntegratedSeriesWeighted(objs []risk.Objective, w risk.Weights) ([]risk.Series, error) {
+	perObjective := make(map[risk.Objective][]risk.Series, len(objs))
+	for _, o := range objs {
+		s, err := r.SeparateSeries(o)
+		if err != nil {
+			return nil, err
+		}
+		perObjective[o] = s
+	}
+	out := make([]risk.Series, len(r.Policies))
+	for i, p := range r.Policies {
+		out[i] = risk.Series{Policy: p, Points: make([]risk.Point, 0, len(r.Scenarios))}
+		for si := range r.Scenarios {
+			out[i].Labels = append(out[i].Labels, r.Scenarios[si].Name)
+			points := make(map[risk.Objective]risk.Point, len(objs))
+			for _, o := range objs {
+				points[o] = perObjective[o][i].Points[si]
+			}
+			pt, err := risk.Integrate(points, w)
+			if err != nil {
+				return nil, err
+			}
+			out[i].Points = append(out[i].Points, pt)
+		}
+	}
+	return out, nil
+}
+
+// ObjectiveTriples returns the paper's four three-objective combinations in
+// figure order: each drops exactly one objective (Figures 4 and 7 panels
+// a/b, c/d, e/f, g/h drop wait, SLA, reliability, profitability
+// respectively).
+func ObjectiveTriples() [][]risk.Objective {
+	all := risk.AllObjectives
+	out := make([][]risk.Objective, 0, len(all))
+	for _, drop := range all {
+		var combo []risk.Objective
+		for _, o := range all {
+			if o != drop {
+				combo = append(combo, o)
+			}
+		}
+		out = append(out, combo)
+	}
+	return out
+}

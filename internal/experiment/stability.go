@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/risk"
+	"repro/internal/stats"
+)
+
+// RankFirstProbability estimates, by paired bootstrap over each scenario's
+// six sweep values, how often each policy would top the integrated
+// best-performance ranking if the scenarios had sampled slightly different
+// operating points. Resampling is paired: the same value indices are drawn
+// for every policy within a scenario, preserving the head-to-head
+// structure of the evaluation. A winner with probability ~1 is robust; a
+// 0.5/0.5 split between two policies says the paper-style point ranking
+// hides a coin flip.
+func RankFirstProbability(res *Results, objs []risk.Objective, resamples int, seed int64) (map[string]float64, error) {
+	if resamples < 10 {
+		return nil, fmt.Errorf("experiment: %d resamples, want >= 10", resamples)
+	}
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("experiment: no objectives")
+	}
+	// Precompute normalized results per objective, scenario, policy.
+	type cell map[string][]float64 // policy -> normalized per value
+	norm := make(map[risk.Objective][]cell, len(objs))
+	for _, obj := range objs {
+		perScenario := make([]cell, len(res.Scenarios))
+		for si, sc := range res.Scenarios {
+			c := make(cell, len(res.Policies))
+			for vi := range sc.Values {
+				raw := make(map[string]float64, len(res.Policies))
+				for _, p := range res.Policies {
+					rep, ok := sc.Reports[vi][p]
+					if !ok {
+						return nil, fmt.Errorf("experiment: missing report for %s at %s[%d]", p, sc.Name, vi)
+					}
+					raw[p] = risk.Raw(obj, rep)
+				}
+				for p, v := range risk.NormalizeAcross(obj, raw) {
+					c[p] = append(c[p], v)
+				}
+			}
+			perScenario[si] = c
+		}
+		norm[obj] = perScenario
+	}
+
+	rng := stats.NewRand(seed)
+	weights := risk.EqualWeights(objs)
+	wins := make(map[string]float64, len(res.Policies))
+	indices := make([]int, 0, 8)
+	for r := 0; r < resamples; r++ {
+		series := make([]risk.Series, len(res.Policies))
+		for i, p := range res.Policies {
+			series[i] = risk.Series{Policy: p}
+		}
+		for si, sc := range res.Scenarios {
+			// Paired draw: one index set for all policies and objectives.
+			indices = indices[:0]
+			for k := 0; k < len(sc.Values); k++ {
+				indices = append(indices, rng.Intn(len(sc.Values)))
+			}
+			for i, p := range res.Policies {
+				points := make(map[risk.Objective]risk.Point, len(objs))
+				for _, obj := range objs {
+					values := norm[obj][si][p]
+					sample := make([]float64, len(indices))
+					for k, idx := range indices {
+						sample[k] = values[idx]
+					}
+					pt, err := risk.Separate(sample)
+					if err != nil {
+						return nil, err
+					}
+					points[obj] = pt
+				}
+				integrated, err := risk.Integrate(points, weights)
+				if err != nil {
+					return nil, err
+				}
+				series[i].Points = append(series[i].Points, integrated)
+			}
+		}
+		ranked, err := risk.RankByPerformance(series)
+		if err != nil {
+			return nil, err
+		}
+		wins[ranked[0].Series.Policy]++
+	}
+	for p := range wins {
+		wins[p] /= float64(resamples)
+	}
+	return wins, nil
+}

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/risk"
+)
+
+func TestRankFirstProbabilitySumsToOne(t *testing.T) {
+	res, err := Run(smallSuite(economy.BidBased, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := RankFirstProbability(res, risk.AllObjectives, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	valid := map[string]bool{}
+	for _, p := range res.Policies {
+		valid[p] = true
+	}
+	for policy, pr := range probs {
+		if !valid[policy] {
+			t.Errorf("unknown winner %q", policy)
+		}
+		if pr < 0 || pr > 1 {
+			t.Errorf("probability %v for %s", pr, policy)
+		}
+		sum += pr
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+}
+
+func TestRankFirstProbabilityDeterministic(t *testing.T) {
+	res, err := Run(smallSuite(economy.Commodity, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RankFirstProbability(res, risk.AllObjectives, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RankFirstProbability(res, risk.AllObjectives, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, v := range a {
+		if b[p] != v {
+			t.Fatalf("same seed diverged for %s: %v vs %v", p, v, b[p])
+		}
+	}
+}
+
+func TestRankFirstProbabilityValidation(t *testing.T) {
+	res, err := Run(smallSuite(economy.Commodity, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RankFirstProbability(res, risk.AllObjectives, 5, 1); err == nil {
+		t.Error("too few resamples accepted")
+	}
+	if _, err := RankFirstProbability(res, nil, 100, 1); err == nil {
+		t.Error("no objectives accepted")
+	}
+}
+
+// The point-estimate winner should usually carry the highest bootstrap
+// probability as well.
+func TestRankFirstProbabilityAgreesWithPointWinner(t *testing.T) {
+	res, err := Run(smallSuite(economy.BidBased, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := res.IntegratedSeries(risk.AllObjectives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := risk.RankByPerformance(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := RankFirstProbability(res, risk.AllObjectives, 300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pointWinner := ranked[0].Series.Policy
+	if probs[pointWinner] < 0.2 {
+		t.Errorf("point winner %s has bootstrap probability %v — suspicious divergence",
+			pointWinner, probs[pointWinner])
+	}
+}

@@ -1,0 +1,292 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/economy"
+	"repro/internal/metrics"
+	"repro/internal/qos"
+	"repro/internal/scheduler"
+	"repro/internal/workload"
+)
+
+// SuiteConfig parameterizes one full evaluation suite: one economic model,
+// one estimate-inaccuracy Set, all twelve scenarios, all policies of the
+// model.
+type SuiteConfig struct {
+	// Model selects the economic model (and with it the five policies of
+	// Table V evaluated under it).
+	Model economy.Model
+	// SetB selects the trace-estimate Set (inaccuracy default 100%);
+	// otherwise Set A (0%).
+	SetB bool
+	// Jobs is the trace length (the paper uses 5000).
+	Jobs int
+	// Nodes is the machine size (the paper uses 128).
+	Nodes int
+	// TraceSeed and QoSSeed drive the synthetic trace and the QoS draws.
+	TraceSeed, QoSSeed int64
+	// Replications averages each cell over this many independently seeded
+	// trace/QoS draws (seed + 1000·r). 0 or 1 runs a single replication,
+	// matching the paper's single-trace methodology.
+	Replications int
+	// Workers bounds the simulation worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// ScenarioFilter, when non-empty, restricts the suite to the named
+	// Table VI scenarios (useful for iterating on one dimension).
+	ScenarioFilter []string
+	// Synth optionally overrides the trace generator configuration (Jobs
+	// still wins for the job count); nil uses the SDSC SP2 calibration.
+	Synth *workload.SynthConfig
+	// Trace optionally supplies a real trace (e.g. parsed from an SWF
+	// file); it overrides synthetic generation entirely.
+	Trace []*workload.Job
+}
+
+// DefaultSuiteConfig returns the paper-scale configuration.
+func DefaultSuiteConfig(model economy.Model, setB bool) SuiteConfig {
+	return SuiteConfig{
+		Model:     model,
+		SetB:      setB,
+		Jobs:      5000,
+		Nodes:     128,
+		TraceSeed: 1,
+		QoSSeed:   2,
+	}
+}
+
+// SetName returns "Set A" or "Set B".
+func (c SuiteConfig) SetName() string {
+	if c.SetB {
+		return "Set B"
+	}
+	return "Set A"
+}
+
+func (c SuiteConfig) inaccuracyDefault() float64 {
+	if c.SetB {
+		return 100
+	}
+	return 0
+}
+
+// ScenarioResult holds one scenario's reports: Reports[valueIdx][policy].
+type ScenarioResult struct {
+	Name    string
+	Values  []float64
+	Reports []map[string]metrics.Report
+}
+
+// Results is the raw output of a suite: every report of every cell, plus
+// the identifiers needed to label plots.
+type Results struct {
+	Model     economy.Model
+	SetName   string
+	Policies  []string
+	Scenarios []ScenarioResult
+}
+
+// Run executes the suite: |scenarios| × 6 values × 5 policies simulations,
+// fanned out over a worker pool. The same base trace and QoS seeds are used
+// for every cell, so policies within a cell see byte-identical workloads.
+func Run(cfg SuiteConfig) (*Results, error) {
+	if cfg.Jobs <= 0 && cfg.Trace == nil {
+		return nil, fmt.Errorf("experiment: non-positive job count %d", cfg.Jobs)
+	}
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("experiment: non-positive node count %d", cfg.Nodes)
+	}
+	base := cfg.Trace
+	if base == nil {
+		synth := workload.DefaultSynthConfig()
+		if cfg.Synth != nil {
+			synth = *cfg.Synth
+		}
+		synth.Jobs = cfg.Jobs
+		var err error
+		base, err = workload.Generate(synth, cfg.TraceSeed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	specs := scheduler.ForModel(cfg.Model)
+	scenarios := Scenarios()
+	if len(cfg.ScenarioFilter) > 0 {
+		wanted := make(map[string]bool, len(cfg.ScenarioFilter))
+		for _, name := range cfg.ScenarioFilter {
+			if _, ok := ScenarioByName(name); !ok {
+				return nil, fmt.Errorf("experiment: unknown scenario %q in filter", name)
+			}
+			wanted[name] = true
+		}
+		filtered := scenarios[:0]
+		for _, sc := range scenarios {
+			if wanted[sc.Name] {
+				filtered = append(filtered, sc)
+			}
+		}
+		scenarios = filtered
+	}
+
+	res := &Results{Model: cfg.Model, SetName: cfg.SetName()}
+	for _, s := range specs {
+		res.Policies = append(res.Policies, s.Name)
+	}
+	res.Scenarios = make([]ScenarioResult, len(scenarios))
+	for si, sc := range scenarios {
+		res.Scenarios[si] = ScenarioResult{
+			Name:    sc.Name,
+			Values:  append([]float64(nil), sc.Values...),
+			Reports: make([]map[string]metrics.Report, len(sc.Values)),
+		}
+		for vi := range sc.Values {
+			res.Scenarios[si].Reports[vi] = make(map[string]metrics.Report, len(specs))
+		}
+	}
+
+	type task struct{ si, vi, pi int }
+	type outcome struct {
+		task
+		report metrics.Report
+		err    error
+	}
+	var tasks []task
+	for si, sc := range scenarios {
+		for vi := range sc.Values {
+			for pi := range specs {
+				tasks = append(tasks, task{si, vi, pi})
+			}
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	taskCh := make(chan task)
+	outCh := make(chan outcome)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for tk := range taskCh {
+				rep, err := runCell(cfg, base, scenarios[tk.si], scenarios[tk.si].Values[tk.vi], specs[tk.pi])
+				outCh <- outcome{task: tk, report: rep, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, tk := range tasks {
+			taskCh <- tk
+		}
+		close(taskCh)
+	}()
+
+	var firstErr error
+	for range tasks {
+		o := <-outCh
+		if o.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("experiment: %s/%s[%d]/%s: %w",
+				cfg.SetName(), scenarios[o.si].Name, o.vi, specs[o.pi].Name, o.err)
+			continue
+		}
+		res.Scenarios[o.si].Reports[o.vi][specs[o.pi].Name] = o.report
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// runCell prepares the workload for one (scenario, value) cell and runs it
+// under one policy, averaging over the configured replications. base is
+// the replication-0 trace; further replications generate their own.
+func runCell(cfg SuiteConfig, base []*workload.Job, sc Scenario, value float64, spec scheduler.Spec) (metrics.Report, error) {
+	p := DefaultParams(cfg.inaccuracyDefault())
+	sc.Apply(&p, value)
+	if err := p.Validate(); err != nil {
+		return metrics.Report{}, err
+	}
+	reps := cfg.Replications
+	if reps < 1 {
+		reps = 1
+	}
+	reports := make([]metrics.Report, 0, reps)
+	for r := 0; r < reps; r++ {
+		trace := base
+		if r > 0 {
+			if cfg.Trace != nil {
+				// A fixed external trace cannot be re-drawn; only the QoS
+				// seed varies across its replications.
+				trace = cfg.Trace
+			} else {
+				synth := workload.DefaultSynthConfig()
+				if cfg.Synth != nil {
+					synth = *cfg.Synth
+				}
+				synth.Jobs = cfg.Jobs
+				var err error
+				trace, err = workload.Generate(synth, cfg.TraceSeed+int64(1000*r))
+				if err != nil {
+					return metrics.Report{}, err
+				}
+			}
+		}
+		jobs := workload.CloneAll(trace)
+		workload.ScaleArrivals(jobs, p.ArrivalFactor)
+		if err := qos.Synthesize(jobs, p.QoSConfig(cfg.QoSSeed+int64(1000*r))); err != nil {
+			return metrics.Report{}, err
+		}
+		rep, err := scheduler.Run(jobs, spec.New, scheduler.RunConfig{
+			Nodes:     cfg.Nodes,
+			Model:     cfg.Model,
+			BasePrice: economy.DefaultBasePrice,
+		})
+		if err != nil {
+			return metrics.Report{}, err
+		}
+		reports = append(reports, rep)
+	}
+	return metrics.AverageReports(reports), nil
+}
+
+// RunCellDetailed is RunCell plus the per-job outcomes, for drill-down
+// dumps (simrun -dump).
+func RunCellDetailed(cfg SuiteConfig, params Params, spec scheduler.Spec) (metrics.Report, []*metrics.Outcome, error) {
+	var collector *metrics.Collector
+	wrapped := spec
+	inner := spec.New
+	wrapped.New = func(ctx *scheduler.Context) scheduler.Policy {
+		collector = ctx.Collector
+		return inner(ctx)
+	}
+	rep, err := RunCell(cfg, params, wrapped)
+	if err != nil {
+		return metrics.Report{}, nil, err
+	}
+	return rep, collector.Outcomes(), nil
+}
+
+// RunCell is the exported single-cell entry point used by cmd/simrun and
+// the examples.
+func RunCell(cfg SuiteConfig, params Params, spec scheduler.Spec) (metrics.Report, error) {
+	identity := Scenario{Name: "fixed", Values: []float64{0}, Apply: func(*Params, float64) {}}
+	base := cfg.Trace
+	if base == nil {
+		synth := workload.DefaultSynthConfig()
+		if cfg.Synth != nil {
+			synth = *cfg.Synth
+		}
+		synth.Jobs = cfg.Jobs
+		var err error
+		base, err = workload.Generate(synth, cfg.TraceSeed)
+		if err != nil {
+			return metrics.Report{}, err
+		}
+	}
+	saved := params
+	identity.Apply = func(p *Params, _ float64) { *p = saved }
+	return runCell(cfg, base, identity, 0, spec)
+}

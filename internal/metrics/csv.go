@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// outcomeHeader names the per-job drill-down columns WriteOutcomesCSV
+// emits.
+var outcomeHeader = []string{
+	"job", "procs", "submit", "runtime", "estimate", "deadline", "budget",
+	"penalty_rate", "urgency", "status", "start", "finish", "wait",
+	"utility", "sla_fulfilled",
+}
+
+// WriteOutcomesCSV dumps every job's lifecycle — the audit trail behind
+// the four aggregate objectives — as CSV. Empty cells mark events that
+// never happened (a rejected job has no start).
+func WriteOutcomesCSV(w io.Writer, outcomes []*Outcome) error {
+	if _, err := fmt.Fprintln(w, join(outcomeHeader)); err != nil {
+		return err
+	}
+	for _, o := range outcomes {
+		j := o.Job
+		status := "pending"
+		switch {
+		case o.Rejected:
+			status = "rejected"
+		case o.Killed:
+			status = "killed"
+		case o.Finished:
+			status = "finished"
+		case o.Started:
+			status = "running"
+		case o.Accepted:
+			status = "accepted"
+		}
+		urgency := "low"
+		if j.HighUrgency {
+			urgency = "high"
+		}
+		start, finish, wait, utility, fulfilled := "", "", "", "", ""
+		if o.Started {
+			start = fmtF(o.StartTime)
+			wait = fmtF(o.Wait())
+		}
+		if o.Finished {
+			finish = fmtF(o.FinishTime)
+			utility = fmtF(o.Utility)
+			fulfilled = strconv.FormatBool(o.SLAFulfilled())
+		}
+		row := []string{
+			strconv.Itoa(j.ID), strconv.Itoa(j.Procs),
+			fmtF(j.Submit), fmtF(j.Runtime), fmtF(j.Estimate),
+			fmtF(j.Deadline), fmtF(j.Budget), fmtF(j.PenaltyRate),
+			urgency, status, start, finish, wait, utility, fulfilled,
+		}
+		if _, err := fmt.Fprintln(w, join(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+func join(fields []string) string {
+	out := ""
+	for i, f := range fields {
+		if i > 0 {
+			out += ","
+		}
+		out += f
+	}
+	return out
+}

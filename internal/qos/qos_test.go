@@ -1,0 +1,257 @@
+package qos
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func trace(t *testing.T, n int, seed int64) []*workload.Job {
+	t.Helper()
+	cfg := workload.DefaultSynthConfig()
+	cfg.Jobs = n
+	jobs, err := workload.Generate(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+func TestSynthesizeFillsQoS(t *testing.T) {
+	jobs := trace(t, 500, 1)
+	if err := Synthesize(jobs, DefaultConfig(2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if !j.HasQoS() {
+			t.Fatalf("job %d missing QoS: %+v", j.ID, *j)
+		}
+		if j.Deadline < 1.05*j.Runtime {
+			t.Errorf("job %d deadline %v below 1.05×runtime %v", j.ID, j.Deadline, j.Runtime)
+		}
+		if j.PenaltyRate < 0 {
+			t.Errorf("job %d negative penalty rate", j.ID)
+		}
+	}
+}
+
+func TestHighUrgencyFraction(t *testing.T) {
+	jobs := trace(t, 4000, 3)
+	cfg := DefaultConfig(4)
+	cfg.HighUrgencyFrac = 0.4
+	if err := Synthesize(jobs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	high := 0
+	for _, j := range jobs {
+		if j.HighUrgency {
+			high++
+		}
+	}
+	frac := float64(high) / float64(len(jobs))
+	if math.Abs(frac-0.4) > 0.03 {
+		t.Errorf("high urgency fraction = %v, want ~0.4", frac)
+	}
+}
+
+// High urgency jobs must have tighter deadlines, larger budgets, and larger
+// penalty rates than low urgency jobs on average (paper §5.3).
+func TestClassSeparation(t *testing.T) {
+	jobs := trace(t, 4000, 5)
+	cfg := DefaultConfig(6)
+	cfg.HighUrgencyFrac = 0.5
+	if err := Synthesize(jobs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var hd, ld, hb, lb, hp, lp []float64
+	for _, j := range jobs {
+		dlFactor := j.Deadline / j.Runtime
+		bFactor := j.Budget / j.Runtime
+		pFactor := j.PenaltyRate * j.Deadline / j.Budget
+		if j.HighUrgency {
+			hd = append(hd, dlFactor)
+			hb = append(hb, bFactor)
+			hp = append(hp, pFactor)
+		} else {
+			ld = append(ld, dlFactor)
+			lb = append(lb, bFactor)
+			lp = append(lp, pFactor)
+		}
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(hd) >= mean(ld) {
+		t.Errorf("high urgency deadline factor %v not below low urgency %v", mean(hd), mean(ld))
+	}
+	if mean(hb) <= mean(lb) {
+		t.Errorf("high urgency budget factor %v not above low urgency %v", mean(hb), mean(lb))
+	}
+	if mean(hp) <= mean(lp) {
+		t.Errorf("high urgency penalty factor %v not above low urgency %v", mean(hp), mean(lp))
+	}
+	// Ratio of class means should approximate the configured 4:1 ratio.
+	if r := mean(ld) / mean(hd); r < 2.5 || r > 6 {
+		t.Errorf("deadline high:low ratio = %v, want ~4", r)
+	}
+}
+
+// Bias must tighten parameters of longer-than-average jobs relative to
+// shorter ones within the same class.
+func TestBiasDirection(t *testing.T) {
+	jobs := trace(t, 4000, 7)
+	cfg := DefaultConfig(8)
+	cfg.HighUrgencyFrac = 0 // single class isolates the bias effect
+	cfg.Deadline.Bias = 4
+	if err := Synthesize(jobs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	meanRuntime := 0.0
+	for _, j := range jobs {
+		meanRuntime += j.Runtime
+	}
+	meanRuntime /= float64(len(jobs))
+	var long, short []float64
+	for _, j := range jobs {
+		f := j.Deadline / j.Runtime
+		if j.Runtime > meanRuntime {
+			long = append(long, f)
+		} else {
+			short = append(short, f)
+		}
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(long) >= mean(short) {
+		t.Errorf("long jobs deadline factor %v not below short jobs %v", mean(long), mean(short))
+	}
+}
+
+func TestInaccuracyZeroMakesEstimatesExact(t *testing.T) {
+	jobs := trace(t, 300, 9)
+	cfg := DefaultConfig(10)
+	cfg.InaccuracyPct = 0
+	if err := Synthesize(jobs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.Estimate != math.Max(1, j.Runtime) {
+			t.Fatalf("job %d estimate %v != runtime %v at 0%% inaccuracy", j.ID, j.Estimate, j.Runtime)
+		}
+	}
+}
+
+func TestInaccuracyHundredKeepsTraceEstimates(t *testing.T) {
+	jobs := trace(t, 300, 11)
+	orig := make([]float64, len(jobs))
+	for i, j := range jobs {
+		orig[i] = j.Estimate
+	}
+	cfg := DefaultConfig(12)
+	cfg.InaccuracyPct = 100
+	if err := Synthesize(jobs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		if j.Estimate != orig[i] {
+			t.Fatalf("job %d estimate changed at 100%% inaccuracy: %v -> %v", j.ID, orig[i], j.Estimate)
+		}
+	}
+}
+
+func TestInaccuracyInterpolates(t *testing.T) {
+	jobs := trace(t, 300, 13)
+	type pair struct{ runtime, est float64 }
+	orig := make([]pair, len(jobs))
+	for i, j := range jobs {
+		orig[i] = pair{j.Runtime, j.Estimate}
+	}
+	cfg := DefaultConfig(14)
+	cfg.InaccuracyPct = 50
+	if err := Synthesize(jobs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		want := math.Max(1, orig[i].runtime+0.5*(orig[i].est-orig[i].runtime))
+		if math.Abs(j.Estimate-want) > 1e-9 {
+			t.Fatalf("job %d estimate %v, want %v", j.ID, j.Estimate, want)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfig(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.HighUrgencyFrac = -0.1 },
+		func(c *Config) { c.HighUrgencyFrac = 1.1 },
+		func(c *Config) { c.BasePrice = 0 },
+		func(c *Config) { c.InaccuracyPct = -5 },
+		func(c *Config) { c.InaccuracyPct = 150 },
+		func(c *Config) { c.Deadline.LowMean = 0 },
+		func(c *Config) { c.Budget.HighLowRatio = 0.5 },
+		func(c *Config) { c.Penalty.Bias = 0.5 },
+		func(c *Config) { c.Deadline.CVFrac = 1.5 },
+	}
+	for i, m := range mut {
+		cfg := DefaultConfig(1)
+		m(&cfg)
+		if err := Synthesize(nil, cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSynthesizeRejectsInvalidJob(t *testing.T) {
+	bad := []*workload.Job{{ID: 1, Runtime: 0, Estimate: 1, Procs: 1}}
+	if err := Synthesize(bad, DefaultConfig(1)); err == nil {
+		t.Error("invalid job accepted")
+	}
+}
+
+func TestSynthesizeDeterminism(t *testing.T) {
+	a := trace(t, 200, 20)
+	b := trace(t, 200, 20)
+	if err := Synthesize(a, DefaultConfig(21)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Synthesize(b, DefaultConfig(21)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("same seed produced different QoS for job %d", i)
+		}
+	}
+}
+
+// Budgets scale with the budget low-value mean: doubling the mean should
+// roughly double mean budget.
+func TestBudgetScalesWithMean(t *testing.T) {
+	mean := func(seed int64, lowMean float64) float64 {
+		jobs := trace(t, 1000, 30)
+		cfg := DefaultConfig(seed)
+		cfg.Budget.LowMean = lowMean
+		if err := Synthesize(jobs, cfg); err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for _, j := range jobs {
+			s += j.Budget / j.Runtime
+		}
+		return s / float64(len(jobs))
+	}
+	m4 := mean(31, 4)
+	m8 := mean(31, 8)
+	if r := m8 / m4; r < 1.7 || r > 2.3 {
+		t.Errorf("budget mean ratio = %v, want ~2", r)
+	}
+}

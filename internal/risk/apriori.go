@@ -1,0 +1,88 @@
+package risk
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// This file implements the forward-looking use the paper proposes for its
+// a-posteriori results: "these evaluation results ... can later be used to
+// generate an a priori risk analysis of policies by identifying possible
+// risks for future utility computing situations." Given a policy's measured
+// per-scenario (performance, volatility) points, Projection estimates the
+// chance that the policy's performance in an unseen scenario falls below a
+// required level.
+
+// Projection is the a-priori risk model for one policy: a normal
+// approximation of its performance across scenarios, pooling the
+// between-scenario spread of the performance means with the mean
+// within-scenario volatility.
+type Projection struct {
+	Policy string
+	// Mean is the expected performance across scenarios.
+	Mean float64
+	// Spread is the pooled standard deviation: between-scenario variance
+	// of performance plus the mean squared within-scenario volatility.
+	Spread float64
+}
+
+// Project fits the a-priori model to a measured series.
+func Project(s Series) (Projection, error) {
+	if len(s.Points) == 0 {
+		return Projection{}, fmt.Errorf("risk: a-priori projection of empty series %q", s.Policy)
+	}
+	perfs := make([]float64, len(s.Points))
+	volSq := 0.0
+	for i, p := range s.Points {
+		perfs[i] = p.Performance
+		volSq += p.Volatility * p.Volatility
+	}
+	volSq /= float64(len(s.Points))
+	between := stats.StdDev(perfs)
+	return Projection{
+		Policy: s.Policy,
+		Mean:   stats.Mean(perfs),
+		Spread: math.Sqrt(between*between + volSq),
+	}, nil
+}
+
+// RiskBelow estimates P(performance < target) for a future scenario under
+// the normal approximation. With zero spread it is a step function.
+func (p Projection) RiskBelow(target float64) float64 {
+	if p.Spread == 0 {
+		if p.Mean < target {
+			return 1
+		}
+		return 0
+	}
+	z := (target - p.Mean) / p.Spread
+	return normalCDF(z)
+}
+
+// normalCDF is the standard normal CDF via erf.
+func normalCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// SafestPolicy returns the projection with the lowest risk of falling
+// below target, breaking ties by higher mean then name.
+func SafestPolicy(projections []Projection, target float64) (Projection, error) {
+	if len(projections) == 0 {
+		return Projection{}, fmt.Errorf("risk: no projections to compare")
+	}
+	best := projections[0]
+	for _, p := range projections[1:] {
+		rb, rp := best.RiskBelow(target), p.RiskBelow(target)
+		switch {
+		case rp < rb:
+			best = p
+		case rp == rb && p.Mean > best.Mean:
+			best = p
+		case rp == rb && p.Mean == best.Mean && p.Policy < best.Policy:
+			best = p
+		}
+	}
+	return best, nil
+}

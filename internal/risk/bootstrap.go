@@ -1,0 +1,79 @@
+package risk
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Interval is a bootstrap confidence interval for one separate-analysis
+// measure.
+type Interval struct {
+	Low, High float64
+}
+
+// BootstrapResult carries percentile intervals for a scenario's
+// performance and volatility estimates. With only six values per scenario
+// the intervals are wide — which is itself useful information the paper's
+// point estimates hide.
+type BootstrapResult struct {
+	Point       Point
+	Performance Interval
+	Volatility  Interval
+}
+
+// Bootstrap resamples the scenario's normalized results with replacement
+// and returns ~(1−2α) percentile intervals for the separate risk analysis
+// measures. Deterministic for a given seed.
+func Bootstrap(normalized []float64, resamples int, alpha float64, seed int64) (BootstrapResult, error) {
+	point, err := Separate(normalized)
+	if err != nil {
+		return BootstrapResult{}, err
+	}
+	if resamples < 10 {
+		return BootstrapResult{}, fmt.Errorf("risk: %d bootstrap resamples, want >= 10", resamples)
+	}
+	if alpha <= 0 || alpha >= 0.5 {
+		return BootstrapResult{}, fmt.Errorf("risk: bootstrap alpha %v outside (0, 0.5)", alpha)
+	}
+	rng := stats.NewRand(seed)
+	perf := make([]float64, resamples)
+	vol := make([]float64, resamples)
+	sample := make([]float64, len(normalized))
+	for r := 0; r < resamples; r++ {
+		for i := range sample {
+			sample[i] = normalized[rng.Intn(len(normalized))]
+		}
+		perf[r] = stats.Mean(sample)
+		vol[r] = stats.StdDev(sample)
+	}
+	sort.Float64s(perf)
+	sort.Float64s(vol)
+	lo := int(alpha * float64(resamples))
+	hi := int((1 - alpha) * float64(resamples))
+	if hi >= resamples {
+		hi = resamples - 1
+	}
+	return BootstrapResult{
+		Point:       point,
+		Performance: Interval{Low: perf[lo], High: perf[hi]},
+		Volatility:  Interval{Low: vol[lo], High: vol[hi]},
+	}, nil
+}
+
+// MostVolatileScenario returns the index and label of the series' point
+// with the highest volatility — the scenario that drives the policy's risk
+// the hardest, the attribution a provider reads off a risk plot.
+func MostVolatileScenario(s Series) (int, string, error) {
+	if len(s.Points) == 0 {
+		return 0, "", fmt.Errorf("risk: volatility attribution over empty series %q", s.Policy)
+	}
+	best := 0
+	for i, p := range s.Points {
+		if p.Volatility > s.Points[best].Volatility {
+			best = i
+		}
+	}
+	return best, s.Label(best), nil
+}

@@ -1,0 +1,112 @@
+package risk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBootstrapBracketsPointEstimate(t *testing.T) {
+	normalized := []float64{0.95, 0.90, 0.85, 0.80, 0.75, 0.70}
+	res, err := Bootstrap(normalized, 2000, 0.025, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Performance.Low > res.Point.Performance || res.Performance.High < res.Point.Performance {
+		t.Errorf("performance %v outside interval [%v, %v]",
+			res.Point.Performance, res.Performance.Low, res.Performance.High)
+	}
+	if res.Performance.Low >= res.Performance.High {
+		t.Errorf("degenerate performance interval [%v, %v]", res.Performance.Low, res.Performance.High)
+	}
+	if res.Volatility.Low > res.Point.Volatility+1e-9 {
+		t.Errorf("volatility %v below interval low %v", res.Point.Volatility, res.Volatility.Low)
+	}
+}
+
+func TestBootstrapConstantData(t *testing.T) {
+	res, err := Bootstrap([]float64{0.5, 0.5, 0.5, 0.5}, 200, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Performance.Low != 0.5 || res.Performance.High != 0.5 {
+		t.Errorf("constant data interval = %+v", res.Performance)
+	}
+	if res.Volatility.High != 0 {
+		t.Errorf("constant data volatility interval high = %v", res.Volatility.High)
+	}
+}
+
+func TestBootstrapDeterminism(t *testing.T) {
+	data := []float64{0.1, 0.4, 0.6, 0.9}
+	a, err := Bootstrap(data, 500, 0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bootstrap(data, 500, 0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed produced different intervals")
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	if _, err := Bootstrap(nil, 100, 0.05, 1); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Bootstrap([]float64{0.5}, 5, 0.05, 1); err == nil {
+		t.Error("too few resamples accepted")
+	}
+	if _, err := Bootstrap([]float64{0.5}, 100, 0.7, 1); err == nil {
+		t.Error("alpha 0.7 accepted")
+	}
+	if _, err := Bootstrap([]float64{2.0}, 100, 0.05, 1); err == nil {
+		t.Error("out-of-range data accepted")
+	}
+}
+
+// Property: intervals are ordered and within [0,1] for valid inputs.
+func TestBootstrapIntervalProperty(t *testing.T) {
+	f := func(raw []uint8, seed int64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		data := make([]float64, len(raw))
+		for i, r := range raw {
+			data[i] = float64(r) / 255
+		}
+		res, err := Bootstrap(data, 200, 0.05, seed)
+		if err != nil {
+			return false
+		}
+		return res.Performance.Low <= res.Performance.High &&
+			res.Volatility.Low <= res.Volatility.High &&
+			res.Performance.Low >= 0 && res.Performance.High <= 1 &&
+			res.Volatility.Low >= 0 && res.Volatility.High <= 0.5+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMostVolatileScenario(t *testing.T) {
+	s := Series{
+		Policy: "p",
+		Points: []Point{{0.9, 0.1}, {0.5, 0.4}, {0.7, 0.2}},
+		Labels: []string{"job mix", "workload", "inaccuracy"},
+	}
+	idx, label, err := MostVolatileScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 || label != "workload" {
+		t.Errorf("attribution = %d/%q, want 1/workload", idx, label)
+	}
+	if _, _, err := MostVolatileScenario(Series{Policy: "e"}); err == nil {
+		t.Error("empty series accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package risk_test
+
+import (
+	"fmt"
+
+	"repro/internal/risk"
+)
+
+// The separate risk analysis of one objective in one scenario: six varying
+// values produce six normalized results; their mean is the performance and
+// their standard deviation the volatility (Eqs. 5–6).
+func ExampleSeparate() {
+	normalized := []float64{0.95, 0.90, 0.85, 0.80, 0.75, 0.70}
+	point, err := risk.Separate(normalized)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("performance %.3f volatility %.3f\n", point.Performance, point.Volatility)
+	// Output: performance 0.825 volatility 0.085
+}
+
+// Integrating multiple objectives with weights (Eqs. 7–8): a provider that
+// cares mostly about profit weights it at 0.7.
+func ExampleIntegrate() {
+	points := map[risk.Objective]risk.Point{
+		risk.Wait:          {Performance: 1.0, Volatility: 0.0},
+		risk.Profitability: {Performance: 0.4, Volatility: 0.2},
+	}
+	weights := risk.Weights{risk.Wait: 0.3, risk.Profitability: 0.7}
+	point, err := risk.Integrate(points, weights)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("performance %.2f volatility %.2f\n", point.Performance, point.Volatility)
+	// Output: performance 0.58 volatility 0.14
+}
+
+// Ranking the paper's Figure 1 sample policies by best performance
+// reproduces Table III's order.
+func ExampleRankByPerformance() {
+	ranked, err := risk.RankByPerformance(risk.SamplePolicies())
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range ranked {
+		fmt.Printf("%d %s\n", r.Rank, r.Series.Policy)
+	}
+	// Output:
+	// 1 A
+	// 2 B
+	// 3 E
+	// 4 G
+	// 5 F
+	// 6 C
+	// 7 D
+	// 8 H
+}
+
+// Trend lines classify how a policy's volatility moves with its
+// performance; decreasing (better performance at lower risk) is preferred.
+func ExampleTrendGradient() {
+	improving := risk.Series{Policy: "p", Points: []risk.Point{
+		{Performance: 0.9, Volatility: 0.1},
+		{Performance: 0.7, Volatility: 0.3},
+		{Performance: 0.5, Volatility: 0.5},
+	}}
+	fmt.Println(risk.TrendGradient(improving))
+	// Output: Decreasing
+}
+
+// A-priori projection: given a policy's measured points, estimate the
+// chance it under-delivers in a future scenario.
+func ExampleProjection_RiskBelow() {
+	series := risk.Series{Policy: "Libra", Points: []risk.Point{
+		{Performance: 0.80, Volatility: 0.05},
+		{Performance: 0.84, Volatility: 0.05},
+		{Performance: 0.82, Volatility: 0.05},
+	}}
+	projection, err := risk.Project(series)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P(performance < 0.7) = %.1f%%\n", projection.RiskBelow(0.7)*100)
+	// Output: P(performance < 0.7) = 1.1%
+}

@@ -1,0 +1,65 @@
+package risk
+
+import "fmt"
+
+// criterion is one comparison step of the paper's ranking procedures.
+type criterion struct {
+	name string
+	// cmp returns <0 if a ranks better, >0 if b does, 0 to continue.
+	cmp func(a, b Ranked) int
+}
+
+func performanceCriteria() []criterion {
+	return []criterion{
+		{"maximum performance", func(a, b Ranked) int { return cmp(b.MaxPerformance, a.MaxPerformance) }},
+		{"minimum volatility", func(a, b Ranked) int { return cmp(a.MinVolatility, b.MinVolatility) }},
+		{"performance difference", func(a, b Ranked) int { return cmp(a.PerformanceDifference, b.PerformanceDifference) }},
+		{"volatility difference", func(a, b Ranked) int { return cmp(a.VolatilityDifference, b.VolatilityDifference) }},
+		{"trend-line gradient", func(a, b Ranked) int { return gradientPreference(a.Gradient) - gradientPreference(b.Gradient) }},
+		{"point concentration", func(a, b Ranked) int { return cmp(a.Concentration, b.Concentration) }},
+	}
+}
+
+func volatilityCriteria() []criterion {
+	return []criterion{
+		{"minimum volatility", func(a, b Ranked) int { return cmp(a.MinVolatility, b.MinVolatility) }},
+		{"maximum performance", func(a, b Ranked) int { return cmp(b.MaxPerformance, a.MaxPerformance) }},
+		{"volatility difference", func(a, b Ranked) int { return cmp(a.VolatilityDifference, b.VolatilityDifference) }},
+		{"performance difference", func(a, b Ranked) int { return cmp(a.PerformanceDifference, b.PerformanceDifference) }},
+		{"trend-line gradient", func(a, b Ranked) int { return gradientPreference(a.Gradient) - gradientPreference(b.Gradient) }},
+		{"point concentration", func(a, b Ranked) int { return cmp(a.Concentration, b.Concentration) }},
+	}
+}
+
+// Explain states which criterion of the given ranking procedure decides
+// the order between two ranked policies — the sentence a report prints
+// next to a Table III/IV row ("C precedes D on point concentration").
+// byVolatility selects Table IV's criteria order; otherwise Table III's.
+func Explain(a, b Ranked, byVolatility bool) string {
+	criteria := performanceCriteria()
+	if byVolatility {
+		criteria = volatilityCriteria()
+	}
+	for _, c := range criteria {
+		switch v := c.cmp(a, b); {
+		case v < 0:
+			return fmt.Sprintf("%s precedes %s on %s", a.Series.Policy, b.Series.Policy, c.name)
+		case v > 0:
+			return fmt.Sprintf("%s precedes %s on %s", b.Series.Policy, a.Series.Policy, c.name)
+		}
+	}
+	return fmt.Sprintf("%s and %s tie on every criterion", a.Series.Policy, b.Series.Policy)
+}
+
+// ExplainRanking annotates a full ranking: for each adjacent pair, the
+// deciding criterion.
+func ExplainRanking(ranked []Ranked, byVolatility bool) []string {
+	if len(ranked) < 2 {
+		return nil
+	}
+	out := make([]string, 0, len(ranked)-1)
+	for i := 0; i+1 < len(ranked); i++ {
+		out = append(out, Explain(ranked[i], ranked[i+1], byVolatility))
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package risk
+
+import (
+	"strings"
+	"testing"
+)
+
+func rankedSample(t *testing.T) []Ranked {
+	t.Helper()
+	ranked, err := RankByPerformance(SamplePolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ranked
+}
+
+func findRanked(t *testing.T, ranked []Ranked, name string) Ranked {
+	t.Helper()
+	for _, r := range ranked {
+		if r.Series.Policy == name {
+			return r
+		}
+	}
+	t.Fatalf("policy %s not in ranking", name)
+	return Ranked{}
+}
+
+func TestExplainDecidingCriteria(t *testing.T) {
+	ranked := rankedSample(t)
+	a := findRanked(t, ranked, "A")
+	b := findRanked(t, ranked, "B")
+	c := findRanked(t, ranked, "C")
+	d := findRanked(t, ranked, "D")
+	e := findRanked(t, ranked, "E")
+	g := findRanked(t, ranked, "G")
+
+	cases := []struct {
+		x, y Ranked
+		want string
+	}{
+		// A beats B on maximum performance (1.0 vs 0.9).
+		{a, b, "A precedes B on maximum performance"},
+		// E beats G on minimum volatility (0.1 vs 0.3).
+		{e, g, "E precedes G on minimum volatility"},
+		// C beats D only on point concentration (all else identical).
+		{c, d, "C precedes D on point concentration"},
+	}
+	for _, tc := range cases {
+		if got := Explain(tc.x, tc.y, false); got != tc.want {
+			t.Errorf("Explain = %q, want %q", got, tc.want)
+		}
+		// Order of arguments must not change the verdict.
+		if got := Explain(tc.y, tc.x, false); got != tc.want {
+			t.Errorf("Explain (swapped) = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestExplainTie(t *testing.T) {
+	ranked := rankedSample(t)
+	c := findRanked(t, ranked, "C")
+	if got := Explain(c, c, false); !strings.Contains(got, "tie") {
+		t.Errorf("self-comparison = %q, want a tie", got)
+	}
+}
+
+func TestExplainVolatilityCriteriaOrder(t *testing.T) {
+	ranked, err := RankByVolatility(SamplePolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := findRanked(t, ranked, "E")
+	b := findRanked(t, ranked, "B")
+	// Under Table IV's order, E beats B on minimum volatility first.
+	if got := Explain(e, b, true); got != "E precedes B on minimum volatility" {
+		t.Errorf("Explain = %q", got)
+	}
+	// Under Table III's order, B beats E on maximum performance first.
+	if got := Explain(e, b, false); got != "B precedes E on maximum performance" {
+		t.Errorf("Explain = %q", got)
+	}
+}
+
+func TestExplainRankingAnnotatesAdjacentPairs(t *testing.T) {
+	ranked := rankedSample(t)
+	notes := ExplainRanking(ranked, false)
+	if len(notes) != len(ranked)-1 {
+		t.Fatalf("%d notes for %d rows", len(notes), len(ranked))
+	}
+	if notes[0] != "A precedes B on maximum performance" {
+		t.Errorf("first note = %q", notes[0])
+	}
+	if ExplainRanking(ranked[:1], false) != nil {
+		t.Error("single-row ranking produced notes")
+	}
+}

@@ -1,0 +1,65 @@
+package risk
+
+import "sort"
+
+// This file adds dominance analysis over risk plots: a point is better the
+// higher its performance and the lower its volatility, so the summaries of
+// a set of policies form a two-objective optimization whose Pareto front
+// contains every policy a rational provider might pick. It complements the
+// paper's linear rankings (Tables III–IV): a policy off the front is
+// dominated no matter how the provider trades performance against risk.
+
+// Dominates reports whether point a dominates point b: at least as good on
+// both axes and strictly better on one.
+func Dominates(a, b Point) bool {
+	if a.Performance < b.Performance || a.Volatility > b.Volatility {
+		return false
+	}
+	return a.Performance > b.Performance || a.Volatility < b.Volatility
+}
+
+// summaryPoint reduces a series to its headline point (max performance,
+// min volatility) — the corner the paper's rankings lead with.
+func summaryPoint(sum Summary) Point {
+	return Point{Performance: sum.MaxPerformance, Volatility: sum.MinVolatility}
+}
+
+// ParetoFront returns the policies whose headline points are not dominated
+// by any other policy's, ordered by decreasing performance (ties broken by
+// volatility then name). Every series must be non-empty.
+func ParetoFront(series []Series) ([]Ranked, error) {
+	ranked, err := buildRanked(series)
+	if err != nil {
+		return nil, err
+	}
+	var front []Ranked
+	for i, r := range ranked {
+		dominated := false
+		for k, other := range ranked {
+			if i == k {
+				continue
+			}
+			if Dominates(summaryPoint(other.Summary), summaryPoint(r.Summary)) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, r)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		a, b := front[i], front[j]
+		if a.MaxPerformance != b.MaxPerformance {
+			return a.MaxPerformance > b.MaxPerformance
+		}
+		if a.MinVolatility != b.MinVolatility {
+			return a.MinVolatility < b.MinVolatility
+		}
+		return a.Series.Policy < b.Series.Policy
+	})
+	for i := range front {
+		front[i].Rank = i + 1
+	}
+	return front, nil
+}

@@ -1,0 +1,137 @@
+package risk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	a := Point{Performance: 0.9, Volatility: 0.1}
+	b := Point{Performance: 0.5, Volatility: 0.3}
+	if !Dominates(a, b) {
+		t.Error("strictly better point does not dominate")
+	}
+	if Dominates(b, a) {
+		t.Error("worse point dominates")
+	}
+	if Dominates(a, a) {
+		t.Error("point dominates itself")
+	}
+	// Better on one axis, worse on the other: no dominance either way.
+	c := Point{Performance: 0.95, Volatility: 0.4}
+	if Dominates(a, c) || Dominates(c, a) {
+		t.Error("incomparable points reported as dominating")
+	}
+	// Equal on one axis, better on the other: dominance.
+	d := Point{Performance: 0.9, Volatility: 0.2}
+	if !Dominates(a, d) {
+		t.Error("same performance, lower volatility must dominate")
+	}
+}
+
+func TestParetoFrontSample(t *testing.T) {
+	front, err := ParetoFront(SamplePolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A (1.0, 0.0) dominates everything except E's volatility? A has min
+	// volatility 0.0 and max performance 1.0 — A dominates all. Only A
+	// survives.
+	if len(front) != 1 || front[0].Series.Policy != "A" {
+		names := make([]string, len(front))
+		for i, f := range front {
+			names[i] = f.Series.Policy
+		}
+		t.Errorf("front = %v, want [A]", names)
+	}
+}
+
+func TestParetoFrontWithoutIdealPolicy(t *testing.T) {
+	var series []Series
+	for _, s := range SamplePolicies() {
+		if s.Policy != "A" {
+			series = append(series, s)
+		}
+	}
+	front, err := ParetoFront(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B: (0.9, 0.3); E: (0.7, 0.1). B has higher perf, E lower volatility:
+	// both survive; everyone else at (0.7, 0.3) is dominated by both.
+	if len(front) != 2 || front[0].Series.Policy != "B" || front[1].Series.Policy != "E" {
+		names := make([]string, len(front))
+		for i, f := range front {
+			names[i] = f.Series.Policy
+		}
+		t.Errorf("front = %v, want [B E]", names)
+	}
+	if front[0].Rank != 1 || front[1].Rank != 2 {
+		t.Error("front ranks not assigned")
+	}
+}
+
+func TestParetoFrontErrors(t *testing.T) {
+	if _, err := ParetoFront([]Series{{Policy: "empty"}}); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+// Property: the front is never empty for non-empty input, no front member
+// dominates another, and every non-member is dominated by some member.
+func TestParetoFrontProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		var series []Series
+		for i := 0; i+1 < len(raw); i += 2 {
+			series = append(series, Series{
+				Policy: string(rune('a'+i/2%26)) + string(rune('0'+i/52)),
+				Points: []Point{{
+					Performance: float64(raw[i]%1000) / 1000,
+					Volatility:  float64(raw[i+1]%500) / 1000,
+				}},
+			})
+		}
+		front, err := ParetoFront(series)
+		if err != nil || len(front) == 0 {
+			return false
+		}
+		inFront := map[string]Point{}
+		for _, f := range front {
+			inFront[f.Series.Policy] = summaryPoint(f.Summary)
+		}
+		for _, a := range front {
+			for _, b := range front {
+				if a.Series.Policy != b.Series.Policy &&
+					Dominates(summaryPoint(a.Summary), summaryPoint(b.Summary)) {
+					return false
+				}
+			}
+		}
+		for _, s := range series {
+			if _, ok := inFront[s.Policy]; ok {
+				continue
+			}
+			p := Point{Performance: s.Points[0].Performance, Volatility: s.Points[0].Volatility}
+			dominated := false
+			for _, fp := range inFront {
+				if Dominates(fp, p) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package risk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Ranked is one row of a Table III/IV-style ranking.
+type Ranked struct {
+	Rank int
+	Series
+	Summary
+	Gradient Gradient
+	// Concentration is the mean distance of the series' points from its
+	// ideal corner (min volatility, max performance); used as the final
+	// tie-break (the paper prefers policy C, whose points cluster near its
+	// best corner, over the evenly spread policy D).
+	Concentration float64
+}
+
+// gradientPreference orders gradients as §4.3 prefers: decreasing,
+// increasing, zero, with NA last.
+func gradientPreference(g Gradient) int {
+	switch g {
+	case GradientDecreasing:
+		return 0
+	case GradientIncreasing:
+		return 1
+	case GradientZero:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// concentration measures how tightly a series clusters around its own best
+// corner.
+func concentration(s Series, sum Summary) float64 {
+	total := 0.0
+	for _, p := range s.Points {
+		dv := p.Volatility - sum.MinVolatility
+		dp := p.Performance - sum.MaxPerformance
+		total += math.Hypot(dv, dp)
+	}
+	return total / float64(len(s.Points))
+}
+
+func buildRanked(series []Series) ([]Ranked, error) {
+	out := make([]Ranked, 0, len(series))
+	for _, s := range series {
+		sum, err := Summarize(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Ranked{
+			Series:        s,
+			Summary:       sum,
+			Gradient:      TrendGradient(s),
+			Concentration: concentration(s, sum),
+		})
+	}
+	return out, nil
+}
+
+// cmp compares two float64 criteria; returns -1/0/+1.
+func cmp(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// RankByPerformance ranks policies for best performance (Table III):
+// (i) maximum performance (higher first), (ii) minimum volatility (lower
+// first), (iii) performance difference (lower first), (iv) volatility
+// difference (lower first), (v) gradient preference, then point
+// concentration and finally name for stability.
+func RankByPerformance(series []Series) ([]Ranked, error) {
+	ranked, err := buildRanked(series)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		a, b := ranked[i], ranked[j]
+		if c := cmp(b.MaxPerformance, a.MaxPerformance); c != 0 {
+			return c < 0
+		}
+		if c := cmp(a.MinVolatility, b.MinVolatility); c != 0 {
+			return c < 0
+		}
+		if c := cmp(a.PerformanceDifference, b.PerformanceDifference); c != 0 {
+			return c < 0
+		}
+		if c := cmp(a.VolatilityDifference, b.VolatilityDifference); c != 0 {
+			return c < 0
+		}
+		if ga, gb := gradientPreference(a.Gradient), gradientPreference(b.Gradient); ga != gb {
+			return ga < gb
+		}
+		if c := cmp(a.Concentration, b.Concentration); c != 0 {
+			return c < 0
+		}
+		return a.Series.Policy < b.Series.Policy
+	})
+	for i := range ranked {
+		ranked[i].Rank = i + 1
+	}
+	return ranked, nil
+}
+
+// RankByVolatility ranks policies for best volatility (Table IV):
+// (i) minimum volatility (lower first), (ii) maximum performance (higher
+// first), (iii) volatility difference (lower first), (iv) performance
+// difference (lower first), (v) gradient preference, then concentration
+// and name.
+func RankByVolatility(series []Series) ([]Ranked, error) {
+	ranked, err := buildRanked(series)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		a, b := ranked[i], ranked[j]
+		if c := cmp(a.MinVolatility, b.MinVolatility); c != 0 {
+			return c < 0
+		}
+		if c := cmp(b.MaxPerformance, a.MaxPerformance); c != 0 {
+			return c < 0
+		}
+		if c := cmp(a.VolatilityDifference, b.VolatilityDifference); c != 0 {
+			return c < 0
+		}
+		if c := cmp(a.PerformanceDifference, b.PerformanceDifference); c != 0 {
+			return c < 0
+		}
+		if ga, gb := gradientPreference(a.Gradient), gradientPreference(b.Gradient); ga != gb {
+			return ga < gb
+		}
+		if c := cmp(a.Concentration, b.Concentration); c != 0 {
+			return c < 0
+		}
+		return a.Series.Policy < b.Series.Policy
+	})
+	for i := range ranked {
+		ranked[i].Rank = i + 1
+	}
+	return ranked, nil
+}
+
+// RankingTable formats a ranking as rows of the paper's table shape.
+func RankingTable(ranked []Ranked, byVolatility bool) []string {
+	rows := make([]string, 0, len(ranked)+1)
+	if byVolatility {
+		rows = append(rows, "Rank Policy MinVol MaxPerf VolDiff PerfDiff Gradient")
+	} else {
+		rows = append(rows, "Rank Policy MaxPerf MinVol PerfDiff VolDiff Gradient")
+	}
+	for _, r := range ranked {
+		if byVolatility {
+			rows = append(rows, fmt.Sprintf("%d %s %.2f %.2f %.2f %.2f %s",
+				r.Rank, r.Series.Policy, r.MinVolatility, r.MaxPerformance,
+				r.VolatilityDifference, r.PerformanceDifference, r.Gradient))
+			continue
+		}
+		rows = append(rows, fmt.Sprintf("%d %s %.2f %.2f %.2f %.2f %s",
+			r.Rank, r.Series.Policy, r.MaxPerformance, r.MinVolatility,
+			r.PerformanceDifference, r.VolatilityDifference, r.Gradient))
+	}
+	return rows
+}

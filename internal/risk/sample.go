@@ -1,0 +1,46 @@
+package risk
+
+// SamplePolicies reconstructs the eight-policy, five-scenario sample risk
+// analysis plot of Figure 1. The paper gives the per-policy extrema (Table
+// II), the trend-line gradients (Tables III–IV), and the qualitative point
+// layout ("four of five points for policy C are near its maximum
+// performance of 0.7 and minimum volatility of 0.3, compared to the evenly
+// distributed points for policy D"); these series satisfy all of those
+// constraints.
+func SamplePolicies() []Series {
+	return []Series{
+		// A: the ideal policy — identical best points, no trend line.
+		{Policy: "A", Points: []Point{
+			{1.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}, {1.0, 0.0},
+		}},
+		// B: constant performance 0.9, volatility 0.3–0.6 (zero gradient).
+		{Policy: "B", Points: []Point{
+			{0.9, 0.30}, {0.9, 0.375}, {0.9, 0.45}, {0.9, 0.525}, {0.9, 0.60},
+		}},
+		// C: decreasing gradient, concentrated near (vol 0.3, perf 0.7).
+		{Policy: "C", Points: []Point{
+			{0.70, 0.30}, {0.69, 0.35}, {0.68, 0.40}, {0.67, 0.45}, {0.20, 1.0},
+		}},
+		// D: decreasing gradient, evenly spread over the same extrema.
+		{Policy: "D", Points: []Point{
+			{0.70, 0.30}, {0.575, 0.475}, {0.45, 0.65}, {0.325, 0.825}, {0.20, 1.0},
+		}},
+		// E: decreasing gradient with tight ranges (perf 0.5–0.7, vol
+		// 0.1–0.3).
+		{Policy: "E", Points: []Point{
+			{0.70, 0.10}, {0.65, 0.15}, {0.60, 0.20}, {0.55, 0.25}, {0.50, 0.30},
+		}},
+		// F: increasing gradient, perf 0.2–0.7, vol 0.3–0.7.
+		{Policy: "F", Points: []Point{
+			{0.20, 0.30}, {0.325, 0.40}, {0.45, 0.50}, {0.575, 0.60}, {0.70, 0.70},
+		}},
+		// G: increasing gradient, perf 0.4–0.7, vol 0.3–1.0.
+		{Policy: "G", Points: []Point{
+			{0.40, 0.30}, {0.475, 0.475}, {0.55, 0.65}, {0.625, 0.825}, {0.70, 1.0},
+		}},
+		// H: increasing gradient, perf 0.2–0.7, vol 0.3–1.0.
+		{Policy: "H", Points: []Point{
+			{0.20, 0.30}, {0.325, 0.475}, {0.45, 0.65}, {0.575, 0.825}, {0.70, 1.0},
+		}},
+	}
+}

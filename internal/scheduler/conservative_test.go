@@ -1,0 +1,169 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/workload"
+)
+
+func TestProfileBasics(t *testing.T) {
+	p := newProfile(0, 8, 2)
+	// 4 procs release at t=50, 2 more at t=100.
+	p.addRelease(50, 4)
+	p.addRelease(100, 2)
+	if got := p.earliest(0, 10, 2); got != 0 {
+		t.Errorf("earliest(2 procs) = %v, want 0", got)
+	}
+	if got := p.earliest(0, 10, 4); got != 50 {
+		t.Errorf("earliest(4 procs) = %v, want 50", got)
+	}
+	if got := p.earliest(0, 10, 8); got != 100 {
+		t.Errorf("earliest(8 procs) = %v, want 100", got)
+	}
+	if got := p.earliest(0, 10, 9); !math.IsInf(got, 1) {
+		t.Errorf("earliest(9 procs) = %v, want +Inf", got)
+	}
+	if got := p.earliest(60, 10, 4); got != 60 {
+		t.Errorf("earliest(from 60) = %v, want 60", got)
+	}
+}
+
+func TestProfileReserveCarvesWindow(t *testing.T) {
+	p := newProfile(0, 8, 8)
+	if err := p.reserve(10, 20, 6); err != nil {
+		t.Fatal(err)
+	}
+	// During [10,30) only 2 procs remain.
+	if got := p.earliest(0, 5, 4); got != 0 {
+		t.Errorf("4 procs before the reservation = %v, want 0", got)
+	}
+	if got := p.earliest(10, 5, 4); got != 30 {
+		t.Errorf("4 procs inside the reservation = %v, want 30", got)
+	}
+	if got := p.earliest(10, 5, 2); got != 10 {
+		t.Errorf("2 procs inside the reservation = %v, want 10", got)
+	}
+	// A long window straddling the reservation must wait it out: [0,15)
+	// overlaps [10,30), where only 2 procs remain.
+	if got := p.earliest(0, 15, 4); got != 30 {
+		t.Errorf("straddling window = %v, want 30", got)
+	}
+	// A short window fitting entirely before the reservation is fine.
+	if got := p.earliest(0, 10, 4); got != 0 {
+		t.Errorf("pre-reservation window = %v, want 0", got)
+	}
+}
+
+func TestProfileReserveOverdraw(t *testing.T) {
+	p := newProfile(0, 4, 2)
+	if err := p.reserve(0, 10, 3); err == nil {
+		t.Error("overdraw accepted")
+	}
+	if err := p.reserve(0, 10, 2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileWindowStraddlesDip(t *testing.T) {
+	p := newProfile(0, 8, 4)
+	p.addRelease(20, 4)     // 8 from t=20
+	_ = p.reserve(10, 5, 4) // dip to 0 during [10,15)
+	// A 2-proc 8-second window starting at 5 would cross the dip.
+	if got := p.earliest(5, 8, 2); got != 15 {
+		t.Errorf("earliest = %v, want 15 (after the dip)", got)
+	}
+}
+
+func TestConservativeNeverDelaysEarlierReservation(t *testing.T) {
+	// Machine of 4. Job 1 runs (2 procs, 100 s). Job 2 (4 procs) reserves
+	// t=100. Job 3 (2 procs, est 150) would finish at ~152 under EASY's
+	// "extra processors" variants or delay job 2 if started; conservative
+	// must slot it after job 2's reservation window.
+	jobs := []*workload.Job{
+		qjob(1, 2, 0, 100, 100, 1e6, 1e6, 0),
+		qjob(2, 4, 1, 100, 100, 1e6, 1e6, 0),
+		qjob(3, 2, 2, 150, 150, 1e6, 1e6, 0),
+	}
+	col := runCollect(t, jobs, NewFCFSConservative, cfg4(economy.Commodity))
+	o2, o3 := col.Outcomes()[1], col.Outcomes()[2]
+	if o2.StartTime != 100 {
+		t.Errorf("job 2 started at %v, want 100", o2.StartTime)
+	}
+	if o3.StartTime < 200 {
+		t.Errorf("job 3 started at %v: delayed job 2's reservation", o3.StartTime)
+	}
+}
+
+func TestConservativeBackfillsHarmlessJob(t *testing.T) {
+	// Same as above but job 3 is short (50 s): it finishes before job 2's
+	// reservation and must backfill immediately.
+	jobs := []*workload.Job{
+		qjob(1, 2, 0, 100, 100, 1e6, 1e6, 0),
+		qjob(2, 4, 1, 100, 100, 1e6, 1e6, 0),
+		qjob(3, 2, 2, 50, 50, 1e6, 1e6, 0),
+	}
+	col := runCollect(t, jobs, NewFCFSConservative, cfg4(economy.Commodity))
+	if got := col.Outcomes()[2].StartTime; got != 2 {
+		t.Errorf("short job started at %v, want 2 (backfilled)", got)
+	}
+	if got := col.Outcomes()[1].StartTime; got != 100 {
+		t.Errorf("reserved job started at %v, want 100", got)
+	}
+}
+
+// Conservative protects LATER-ARRIVING narrow jobs' reservations where
+// EASY only protects the head: under EASY job 4 (arrived after job 3)
+// could backfill past job 3's implicit position repeatedly; conservative
+// gives job 3 a firm start bound. Here we assert the queue's relative
+// order of equally-wide jobs is preserved.
+func TestConservativeKeepsFCFSOrderAmongEqualJobs(t *testing.T) {
+	var jobs []*workload.Job
+	jobs = append(jobs, qjob(1, 4, 0, 100, 100, 1e6, 1e6, 0))
+	for i := 2; i <= 5; i++ {
+		jobs = append(jobs, qjob(i, 4, float64(i), 100, 100, 1e6, 1e6, 0))
+	}
+	col := runCollect(t, jobs, NewFCFSConservative, cfg4(economy.Commodity))
+	prev := -1.0
+	for _, o := range col.Outcomes() {
+		if o.StartTime < prev {
+			t.Fatalf("job %d started at %v before its predecessor at %v", o.Job.ID, o.StartTime, prev)
+		}
+		prev = o.StartTime
+	}
+}
+
+func TestConservativeAdmissionControl(t *testing.T) {
+	jobs := []*workload.Job{
+		qjob(1, 4, 0, 100, 100, 1e6, 1e6, 0),
+		qjob(2, 4, 1, 70, 70, 80, 1e6, 0), // cannot meet deadline after queueing
+	}
+	col := runCollect(t, jobs, NewFCFSConservative, cfg4(economy.Commodity))
+	if !col.Outcomes()[1].Rejected {
+		t.Error("hopeless job not rejected")
+	}
+}
+
+func TestConservativeSettlesSyntheticWorkload(t *testing.T) {
+	jobs := synthWorkload(t, 300, 100, 53)
+	rep := runPolicy(t, jobs, NewFCFSConservative, RunConfig{Nodes: 16, Model: economy.Commodity, BasePrice: 1})
+	if rep.Submitted != 300 || rep.Accepted == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.SLA > rep.Reliability {
+		t.Error("SLA above reliability")
+	}
+	// Set A correctness: rerun with accurate estimates, reliability 100.
+	jobsA := synthWorkload(t, 300, 0, 53)
+	repA := runPolicy(t, jobsA, NewFCFSConservative, RunConfig{Nodes: 16, Model: economy.Commodity, BasePrice: 1})
+	if repA.Reliability != 100 {
+		t.Errorf("Set A reliability = %v, want 100", repA.Reliability)
+	}
+}
+
+func TestConservativeName(t *testing.T) {
+	if got := NewFCFSConservative(testContext(economy.Commodity, 4)).Name(); got != "FCFS-CONS" {
+		t.Errorf("Name() = %q", got)
+	}
+}

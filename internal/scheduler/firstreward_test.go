@@ -1,0 +1,179 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/workload"
+)
+
+func bidCfg(nodes int) RunConfig {
+	return RunConfig{Nodes: nodes, Model: economy.BidBased, BasePrice: 1}
+}
+
+func TestFirstRewardAcceptsOnEmptyService(t *testing.T) {
+	// No outstanding jobs: cost = 0, slack = PV/pr ≈ 1000/1 ≫ 25.
+	jobs := []*workload.Job{qjob(1, 1, 0, 100, 100, 400, 1000, 1)}
+	col := runCollect(t, jobs, NewFirstReward, bidCfg(4))
+	o := col.Outcomes()[0]
+	if !o.Accepted || o.StartTime != 0 {
+		t.Errorf("outcome = %+v, want accepted and started at 0", *o)
+	}
+	if o.Utility != 1000 {
+		t.Errorf("utility = %v, want full bid", o.Utility)
+	}
+}
+
+func TestFirstRewardRejectsUnderPenaltyExposure(t *testing.T) {
+	// Job 1 outstanding with a huge penalty rate. Job 2's opportunity cost
+	// pr₁·RPT₂ = 100·100 = 10000 ≫ PV₂ ≈ 1000: slack < 0 < 25, reject.
+	jobs := []*workload.Job{
+		qjob(1, 1, 0, 500, 500, 2000, 5000, 100),
+		qjob(2, 1, 10, 100, 100, 400, 1000, 1),
+	}
+	col := runCollect(t, jobs, NewFirstReward, bidCfg(4))
+	if !col.Outcomes()[0].Accepted {
+		t.Fatal("job 1 rejected")
+	}
+	if !col.Outcomes()[1].Rejected {
+		t.Error("job 2 accepted despite penalty exposure")
+	}
+}
+
+func TestFirstRewardSlackThresholdBoundary(t *testing.T) {
+	// Empty service, pr = 1: slack ≈ PV ≈ budget. Budget 10 < threshold 25
+	// rejects; budget 100 > 25 accepts (discount is negligible here).
+	low := []*workload.Job{qjob(1, 1, 0, 100, 100, 400, 10, 1)}
+	col := runCollect(t, low, NewFirstReward, bidCfg(4))
+	if !col.Outcomes()[0].Rejected {
+		t.Error("slack below threshold accepted")
+	}
+	high := []*workload.Job{qjob(1, 1, 0, 100, 100, 400, 100, 1)}
+	col = runCollect(t, high, NewFirstReward, bidCfg(4))
+	if !col.Outcomes()[0].Accepted {
+		t.Error("slack above threshold rejected")
+	}
+}
+
+func TestFirstRewardZeroPenaltyJobAdmitted(t *testing.T) {
+	// pr = 0 means no penalty exposure at all: slack is effectively
+	// infinite and the job is admitted (guarded division).
+	jobs := []*workload.Job{qjob(1, 1, 0, 100, 100, 400, 1000, 0)}
+	col := runCollect(t, jobs, NewFirstReward, bidCfg(4))
+	if !col.Outcomes()[0].Accepted {
+		t.Error("zero-penalty job rejected")
+	}
+}
+
+func TestFirstRewardOrdersByReward(t *testing.T) {
+	// Machine busy until t=100; two accepted jobs queue. Job 3 has a much
+	// higher PV/RPT (same estimate, bigger budget): it must start first
+	// even though job 2 arrived earlier.
+	jobs := []*workload.Job{
+		qjob(1, 4, 0, 100, 100, 1e6, 100, 0.001),
+		qjob(2, 4, 1, 100, 100, 1e6, 200, 0.001),
+		qjob(3, 4, 2, 100, 100, 1e6, 5000, 0.001),
+	}
+	col := runCollect(t, jobs, NewFirstReward, bidCfg(4))
+	o2, o3 := col.Outcomes()[1], col.Outcomes()[2]
+	if !o2.Accepted || !o3.Accepted {
+		t.Fatalf("queueing jobs rejected: %+v %+v", *o2, *o3)
+	}
+	if !(o3.StartTime == 100 && o2.StartTime == 200) {
+		t.Errorf("starts: job2 %v, job3 %v; want 200 and 100 (reward order)", o2.StartTime, o3.StartTime)
+	}
+}
+
+func TestFirstRewardNoBackfilling(t *testing.T) {
+	// Head of queue needs the full machine; a narrow job behind it fits on
+	// the free processors but must NOT start (no backfilling).
+	jobs := []*workload.Job{
+		qjob(1, 2, 0, 100, 100, 1e6, 10000, 0.001), // runs on 2 of 4 procs
+		qjob(2, 4, 1, 100, 100, 1e6, 20000, 0.001), // head: needs all 4
+		qjob(3, 1, 2, 10, 10, 1e6, 500, 0.001),     // could fit now, lower reward
+	}
+	col := runCollect(t, jobs, NewFirstReward, bidCfg(4))
+	o3 := col.Outcomes()[2]
+	if !o3.Accepted {
+		t.Fatal("job 3 rejected")
+	}
+	if o3.StartTime < 200 {
+		t.Errorf("job 3 started at %v: backfilled ahead of the blocked head", o3.StartTime)
+	}
+}
+
+func TestFirstRewardLateJobPaysPenalty(t *testing.T) {
+	// Accepted job delayed past its deadline accrues the linear penalty.
+	jobs := []*workload.Job{
+		qjob(1, 4, 0, 100, 100, 1e6, 10000, 0.001),
+		qjob(2, 4, 0, 100, 100, 150, 10000, 10), // finishes at 200, deadline 150
+	}
+	col := runCollect(t, jobs, NewFirstReward, bidCfg(4))
+	o := col.Outcomes()[1]
+	if !o.Accepted {
+		t.Fatal("job 2 rejected")
+	}
+	if o.SLAFulfilled() {
+		t.Error("late job marked fulfilled")
+	}
+	want := 10000.0 - 50*10 // delay 50 s at rate 10
+	if o.Utility != want {
+		t.Errorf("utility = %v, want %v", o.Utility, want)
+	}
+}
+
+func TestFirstRewardTunedThreshold(t *testing.T) {
+	// A permissive threshold admits what the default rejects.
+	jobs := []*workload.Job{qjob(1, 1, 0, 100, 100, 400, 10, 1)}
+	factory := func(ctx *Context) Policy {
+		return NewFirstRewardTuned(ctx, 1, 0.01, 0)
+	}
+	col := runCollect(t, jobs, factory, bidCfg(4))
+	if !col.Outcomes()[0].Accepted {
+		t.Error("threshold 0 still rejected slack-10 job")
+	}
+}
+
+func TestFirstRewardName(t *testing.T) {
+	if got := NewFirstReward(testContext(economy.BidBased, 4)).Name(); got != "FirstReward" {
+		t.Errorf("Name() = %q", got)
+	}
+}
+
+func TestBoundedBidUtilityFloor(t *testing.T) {
+	// A job delayed essentially forever: unbounded utility dives without
+	// limit, bounded stops at −budget.
+	jobs := []*workload.Job{
+		qjob(1, 4, 0, 100, 100, 1e6, 10000, 0.001),
+		// Deadline 10, finish 200: delay 190 at rate 50 = 9500 penalty.
+		qjob(2, 4, 0, 100, 100, 10, 2000, 50),
+	}
+	colU := runCollect(t, workload.CloneAll(jobs), NewFirstReward, bidCfg(4))
+	colB := runCollect(t, workload.CloneAll(jobs), NewFirstRewardBounded, bidCfg(4))
+	oU, oB := colU.Outcomes()[1], colB.Outcomes()[1]
+	if !oU.Accepted || !oB.Accepted {
+		t.Fatalf("job 2 rejected: unbounded %+v bounded %+v", *oU, *oB)
+	}
+	if oU.Utility != 2000-9500 {
+		t.Errorf("unbounded utility = %v, want -7500", oU.Utility)
+	}
+	if oB.Utility != -2000 {
+		t.Errorf("bounded utility = %v, want floor -2000", oB.Utility)
+	}
+}
+
+// Bounded penalties make FirstReward less risk-averse: on a contended
+// workload it must accept at least as many jobs as the unbounded variant,
+// and typically strictly more.
+func TestBoundedFirstRewardAcceptsMore(t *testing.T) {
+	jobs := synthWorkload(t, 400, 100, 91)
+	cfg := RunConfig{Nodes: 16, Model: economy.BidBased, BasePrice: 1}
+	unbounded := runPolicy(t, workload.CloneAll(jobs), NewFirstReward, cfg)
+	bounded := runPolicy(t, workload.CloneAll(jobs), NewFirstRewardBounded, cfg)
+	if bounded.Accepted < unbounded.Accepted {
+		t.Errorf("bounded accepted %d < unbounded %d", bounded.Accepted, unbounded.Accepted)
+	}
+	if bounded.Accepted == unbounded.Accepted {
+		t.Logf("note: identical acceptance (%d) on this workload", bounded.Accepted)
+	}
+}

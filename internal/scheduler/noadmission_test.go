@@ -1,0 +1,77 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/workload"
+)
+
+func TestNoACAcceptsEverything(t *testing.T) {
+	jobs := []*workload.Job{
+		qjob(1, 4, 0, 100, 100, 1e6, 1e6, 0),
+		qjob(2, 4, 1, 100, 100, 10, 1, 0), // hopeless deadline and budget
+	}
+	col := runCollect(t, jobs, NewFCFSNoAC, cfg4(economy.Commodity))
+	for _, o := range col.Outcomes() {
+		if !o.Accepted || !o.Finished {
+			t.Fatalf("job %d not accepted/run: %+v", o.Job.ID, *o)
+		}
+	}
+	rep := col.Report()
+	if rep.Accepted != 2 {
+		t.Errorf("accepted = %d, want 2 (no admission control)", rep.Accepted)
+	}
+	// Job 2 misses its deadline: reliability suffers.
+	if rep.Reliability != 50 {
+		t.Errorf("reliability = %v, want 50", rep.Reliability)
+	}
+}
+
+func TestNoACCommodityChargeCappedByBudget(t *testing.T) {
+	jobs := []*workload.Job{qjob(1, 1, 0, 100, 100, 1e6, 40, 0)}
+	col := runCollect(t, jobs, NewFCFSNoAC, cfg4(economy.Commodity))
+	if u := col.Outcomes()[0].Utility; u != 40 {
+		t.Errorf("utility = %v, want budget cap 40", u)
+	}
+}
+
+func TestNoACBidPenalties(t *testing.T) {
+	jobs := []*workload.Job{
+		qjob(1, 4, 0, 100, 100, 1e6, 1e6, 0),
+		qjob(2, 4, 0, 100, 100, 50, 1000, 100), // deadline long gone at finish
+	}
+	col := runCollect(t, jobs, NewEDFNoAC, cfg4(economy.BidBased))
+	o := col.Outcomes()[1]
+	if o.Utility >= 0 {
+		t.Errorf("hopeless job utility = %v, want deeply negative", o.Utility)
+	}
+}
+
+// The paper's claim: without admission control the policies perform much
+// worse when deadlines are short. Under contention, the with-AC variant
+// must beat the no-AC variant on reliability (and, bid-based, on
+// profitability, since no-AC keeps paying penalties).
+func TestAdmissionControlEarnsItsKeep(t *testing.T) {
+	jobs := synthWorkload(t, 400, 100, 77)
+	cfg := RunConfig{Nodes: 16, Model: economy.BidBased, BasePrice: 1}
+	withAC := runPolicy(t, workload.CloneAll(jobs), NewFCFSBF, cfg)
+	noAC := runPolicy(t, workload.CloneAll(jobs), NewFCFSNoAC, cfg)
+	if noAC.Reliability >= withAC.Reliability {
+		t.Errorf("no-AC reliability %v not below with-AC %v", noAC.Reliability, withAC.Reliability)
+	}
+	if noAC.Profitability >= withAC.Profitability {
+		t.Errorf("no-AC profitability %v not below with-AC %v", noAC.Profitability, withAC.Profitability)
+	}
+}
+
+func TestNoACNames(t *testing.T) {
+	ctx := testContext(economy.Commodity, 4)
+	if got := NewFCFSNoAC(ctx).Name(); got != "FCFS-BF/noAC" {
+		t.Errorf("Name() = %q", got)
+	}
+	ctx = testContext(economy.BidBased, 4)
+	if got := NewEDFNoAC(ctx).Name(); got != "EDF-BF/noAC" {
+		t.Errorf("Name() = %q", got)
+	}
+}

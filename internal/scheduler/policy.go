@@ -1,0 +1,216 @@
+// Package scheduler implements the seven resource management policies the
+// paper evaluates (Table V) and the simulation driver that runs a workload
+// through one of them:
+//
+//	FCFS-BF, SJF-BF, EDF-BF  EASY backfilling with generous admission
+//	                         control (space-shared);
+//	Libra                    deadline-proportional share with admission
+//	                         control at submission (time-shared);
+//	Libra+$                  Libra with the enhanced adaptive pricing
+//	                         function (commodity market model only);
+//	LibraRiskD               Libra that only places jobs on nodes with zero
+//	                         risk of deadline delay (bid-based model only);
+//	FirstReward              reward/opportunity-cost admission with slack
+//	                         threshold (bid-based model only).
+package scheduler
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/economy"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Context carries everything a policy needs for one simulation run.
+type Context struct {
+	Engine    *sim.Engine
+	Collector *metrics.Collector
+	Model     economy.Model
+	Nodes     int
+	// BasePrice is PBase, in dollars per estimated-runtime second.
+	BasePrice float64
+	// NodeRatings optionally makes the machine heterogeneous: node i runs
+	// at NodeRatings[i] times the reference speed. Honored by the
+	// time-shared (Libra-family) policies; the space-shared policies model
+	// the paper's homogeneous SP2 and ignore it (see the heterogeneity
+	// ablation bench).
+	NodeRatings []float64
+	// Prices optionally varies the commodity base price over time (the
+	// paper's "variable" pricing, §5.1). Nil means flat BasePrice. Honored
+	// by the base-price policies (the backfillers, QoPS, the no-AC
+	// baselines); the Libra family has its own pricing functions.
+	Prices economy.PriceSchedule
+}
+
+// PriceAt returns the commodity base price in effect at time t.
+func (ctx *Context) PriceAt(t float64) float64 {
+	if ctx.Prices != nil {
+		return ctx.Prices.PriceAt(t)
+	}
+	return ctx.BasePrice
+}
+
+// newSpaceCluster builds the context's space-shared machine, honoring node
+// ratings when configured.
+func newSpaceCluster(ctx *Context) *cluster.SpaceShared {
+	if len(ctx.NodeRatings) == ctx.Nodes && ctx.Nodes > 0 {
+		return cluster.NewSpaceSharedRated(ctx.Engine, ctx.NodeRatings)
+	}
+	return cluster.NewSpaceShared(ctx.Engine, ctx.Nodes)
+}
+
+// Policy handles job submissions; everything else (queueing, admission,
+// execution, accounting) is the policy's business. Implementations report
+// accept/reject/start/finish through ctx.Collector.
+type Policy interface {
+	// Name returns the policy's display name as used in the paper.
+	Name() string
+	// Submit is invoked at each job's submission time.
+	Submit(j *workload.Job)
+	// Drain is invoked after the last submission; policies that keep queues
+	// use it to reject jobs still waiting when the simulation empties (the
+	// simulation only ends once no events remain, so a non-empty queue at
+	// drain time means those jobs could never start).
+	Drain()
+}
+
+// UtilizationReporter is implemented by policies whose cluster can report
+// machine utilization; Run copies it into the report.
+type UtilizationReporter interface {
+	Utilization() float64
+}
+
+// Factory builds a fresh policy instance bound to a run context.
+type Factory func(ctx *Context) Policy
+
+// Spec describes one policy in the Table V matrix.
+type Spec struct {
+	Name string
+	// Models lists the economic models the paper evaluates the policy
+	// under.
+	Models []economy.Model
+	// Parameter is the primary scheduling parameter per Table V.
+	Parameter string
+	New       Factory
+}
+
+// Specs returns the Table V policy matrix in the paper's order.
+func Specs() []Spec {
+	return []Spec{
+		{"FCFS-BF", []economy.Model{economy.Commodity, economy.BidBased}, "arrival time", NewFCFSBF},
+		{"SJF-BF", []economy.Model{economy.Commodity}, "runtime", NewSJFBF},
+		{"EDF-BF", []economy.Model{economy.Commodity, economy.BidBased}, "deadline", NewEDFBF},
+		{"Libra", []economy.Model{economy.Commodity, economy.BidBased}, "deadline", NewLibra},
+		{"Libra+$", []economy.Model{economy.Commodity}, "deadline", NewLibraDollar},
+		{"LibraRiskD", []economy.Model{economy.BidBased}, "deadline", NewLibraRiskD},
+		{"FirstReward", []economy.Model{economy.BidBased}, "budget with penalty", NewFirstReward},
+	}
+}
+
+// SpecByName returns the spec for a policy name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("scheduler: unknown policy %q", name)
+}
+
+// ForModel returns the specs evaluated under the given economic model, in
+// Table V order (five per model, as in the paper's figures).
+func ForModel(m economy.Model) []Spec {
+	var out []Spec
+	for _, s := range Specs() {
+		for _, sm := range s.Models {
+			if sm == m {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RunConfig parameterizes one simulation run.
+type RunConfig struct {
+	// Nodes is the machine size (the paper's SDSC SP2 has 128).
+	Nodes int
+	// Model is the economic model.
+	Model economy.Model
+	// BasePrice is PBase (default $1/s).
+	BasePrice float64
+	// NodeRatings optionally gives each node a speed multiplier (see
+	// Context.NodeRatings). Empty means homogeneous.
+	NodeRatings []float64
+	// Prices optionally varies the commodity base price over time (see
+	// Context.Prices). Nil means flat.
+	Prices economy.PriceSchedule
+}
+
+// DefaultRunConfig returns the paper's machine and pricing defaults for the
+// given model.
+func DefaultRunConfig(m economy.Model) RunConfig {
+	return RunConfig{Nodes: 128, Model: m, BasePrice: economy.DefaultBasePrice}
+}
+
+// Run simulates the full workload under the policy built by factory and
+// returns the objective report. Jobs must be sorted by submission time and
+// carry QoS parameters.
+func Run(jobs []*workload.Job, factory Factory, cfg RunConfig) (metrics.Report, error) {
+	if cfg.Nodes <= 0 {
+		return metrics.Report{}, fmt.Errorf("scheduler: non-positive node count %d", cfg.Nodes)
+	}
+	if cfg.BasePrice <= 0 {
+		return metrics.Report{}, fmt.Errorf("scheduler: non-positive base price %v", cfg.BasePrice)
+	}
+	if len(cfg.NodeRatings) != 0 && len(cfg.NodeRatings) != cfg.Nodes {
+		return metrics.Report{}, fmt.Errorf("scheduler: %d node ratings for %d nodes", len(cfg.NodeRatings), cfg.Nodes)
+	}
+	prev := -1.0
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return metrics.Report{}, err
+		}
+		if !j.HasQoS() {
+			return metrics.Report{}, fmt.Errorf("scheduler: job %d has no QoS parameters", j.ID)
+		}
+		if j.Submit < prev {
+			return metrics.Report{}, fmt.Errorf("scheduler: job %d out of submission order", j.ID)
+		}
+		prev = j.Submit
+		if j.Procs > cfg.Nodes {
+			return metrics.Report{}, fmt.Errorf("scheduler: job %d wider (%d) than the machine (%d)", j.ID, j.Procs, cfg.Nodes)
+		}
+	}
+	engine := sim.NewEngine()
+	collector := metrics.NewCollector()
+	ctx := &Context{
+		Engine:      engine,
+		Collector:   collector,
+		Model:       cfg.Model,
+		Nodes:       cfg.Nodes,
+		BasePrice:   cfg.BasePrice,
+		NodeRatings: cfg.NodeRatings,
+		Prices:      cfg.Prices,
+	}
+	policy := factory(ctx)
+	for _, j := range jobs {
+		j := j
+		engine.MustSchedule(sim.Time(j.Submit), fmt.Sprintf("submit job %d", j.ID), func() {
+			collector.Submitted(j)
+			policy.Submit(j)
+		})
+	}
+	engine.Run()
+	policy.Drain()
+	engine.Run() // drain may have released queue state needing no events, but keep symmetric
+	report := collector.Report()
+	if ur, ok := policy.(UtilizationReporter); ok {
+		report.Utilization = ur.Utilization()
+	}
+	return report, nil
+}

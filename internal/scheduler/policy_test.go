@@ -1,0 +1,268 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/metrics"
+	"repro/internal/qos"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func testContext(m economy.Model, nodes int) *Context {
+	return &Context{
+		Engine:    sim.NewEngine(),
+		Collector: metrics.NewCollector(),
+		Model:     m,
+		Nodes:     nodes,
+		BasePrice: 1,
+	}
+}
+
+// Table V: the policy matrix — names, models, and primary parameters.
+func TestTableVPolicyMatrix(t *testing.T) {
+	want := []struct {
+		name      string
+		commodity bool
+		bid       bool
+		parameter string
+	}{
+		{"FCFS-BF", true, true, "arrival time"},
+		{"SJF-BF", true, false, "runtime"},
+		{"EDF-BF", true, true, "deadline"},
+		{"Libra", true, true, "deadline"},
+		{"Libra+$", true, false, "deadline"},
+		{"LibraRiskD", false, true, "deadline"},
+		{"FirstReward", false, true, "budget with penalty"},
+	}
+	specs := Specs()
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(specs), len(want))
+	}
+	for i, w := range want {
+		s := specs[i]
+		if s.Name != w.name {
+			t.Errorf("spec %d name = %q, want %q", i, s.Name, w.name)
+		}
+		if s.Parameter != w.parameter {
+			t.Errorf("%s parameter = %q, want %q", s.Name, s.Parameter, w.parameter)
+		}
+		has := func(m economy.Model) bool {
+			for _, mm := range s.Models {
+				if mm == m {
+					return true
+				}
+			}
+			return false
+		}
+		if has(economy.Commodity) != w.commodity || has(economy.BidBased) != w.bid {
+			t.Errorf("%s models = %v", s.Name, s.Models)
+		}
+	}
+	// Five policies per model, as in the paper's figures.
+	if got := len(ForModel(economy.Commodity)); got != 5 {
+		t.Errorf("commodity policies = %d, want 5", got)
+	}
+	if got := len(ForModel(economy.BidBased)); got != 5 {
+		t.Errorf("bid-based policies = %d, want 5", got)
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, err := SpecByName("Libra+$")
+	if err != nil || s.Name != "Libra+$" {
+		t.Errorf("SpecByName(Libra+$) = %v, %v", s.Name, err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// synthWorkload builds a small QoS-complete trace for integration tests.
+func synthWorkload(t *testing.T, n int, inaccuracy float64, seed int64) []*workload.Job {
+	t.Helper()
+	cfg := workload.DefaultSynthConfig()
+	cfg.Jobs = n
+	// Keep widths within the small test machine.
+	cfg.Widths = []int{1, 2, 4, 8, 16}
+	cfg.WidthWeights = []float64{0.3, 0.2, 0.2, 0.2, 0.1}
+	// Compress arrivals for contention.
+	cfg.MeanInterArrival = 400
+	jobs, err := workload.Generate(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qos.DefaultConfig(seed + 1)
+	q.InaccuracyPct = inaccuracy
+	if err := qos.Synthesize(jobs, q); err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// Every policy, under every model it supports, must settle every job:
+// accepted jobs start and finish; the rest are rejected; counts add up.
+func TestEveryPolicySettlesEveryJob(t *testing.T) {
+	for _, set := range []struct {
+		name       string
+		inaccuracy float64
+	}{{"SetA", 0}, {"SetB", 100}} {
+		for _, spec := range Specs() {
+			for _, model := range spec.Models {
+				name := set.name + "/" + spec.Name + "/" + model.String()
+				t.Run(name, func(t *testing.T) {
+					jobs := synthWorkload(t, 300, set.inaccuracy, 11)
+					cfg := RunConfig{Nodes: 16, Model: model, BasePrice: 1}
+					var col *metrics.Collector
+					factory := func(ctx *Context) Policy {
+						col = ctx.Collector
+						return spec.New(ctx)
+					}
+					rep, err := Run(jobs, factory, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rep.Submitted != 300 {
+						t.Fatalf("submitted = %d", rep.Submitted)
+					}
+					accepted, rejected := 0, 0
+					for _, o := range col.Outcomes() {
+						switch {
+						case o.Accepted:
+							accepted++
+							if !o.Started || !o.Finished {
+								t.Fatalf("job %d accepted but not run to completion: %+v", o.Job.ID, *o)
+							}
+							if o.StartTime < o.Job.Submit {
+								t.Fatalf("job %d started before submission", o.Job.ID)
+							}
+							if o.FinishTime < o.StartTime+o.Job.Runtime-1e-6 {
+								t.Fatalf("job %d finished before its runtime elapsed", o.Job.ID)
+							}
+						case o.Rejected:
+							rejected++
+							if o.Started {
+								t.Fatalf("job %d rejected but started", o.Job.ID)
+							}
+						default:
+							t.Fatalf("job %d neither accepted nor rejected", o.Job.ID)
+						}
+					}
+					if accepted != rep.Accepted || accepted+rejected != 300 {
+						t.Fatalf("accounting: %d accepted + %d rejected != 300", accepted, rejected)
+					}
+					if rep.SLA > rep.Reliability+1e-9 {
+						t.Errorf("SLA %v exceeds reliability %v (nSLA/m > nSLA/n impossible)", rep.SLA, rep.Reliability)
+					}
+					if rep.Reliability < 0 || rep.Reliability > 100 || rep.SLA < 0 || rep.SLA > 100 {
+						t.Errorf("percentages out of range: %+v", rep)
+					}
+					if rep.Wait < 0 {
+						t.Errorf("negative wait %v", rep.Wait)
+					}
+				})
+			}
+		}
+	}
+}
+
+// Libra-family policies examine jobs at submission: zero wait always
+// (paper Fig. 3a/b, 6a/b).
+func TestLibraFamilyZeroWait(t *testing.T) {
+	jobs := synthWorkload(t, 300, 100, 17)
+	for _, tc := range []struct {
+		f Factory
+		m economy.Model
+	}{
+		{NewLibra, economy.Commodity},
+		{NewLibraDollar, economy.Commodity},
+		{NewLibra, economy.BidBased},
+		{NewLibraRiskD, economy.BidBased},
+	} {
+		rep := runPolicy(t, workload.CloneAll(jobs), tc.f, RunConfig{Nodes: 16, Model: tc.m, BasePrice: 1})
+		if rep.Wait != 0 {
+			t.Errorf("wait = %v, want 0", rep.Wait)
+		}
+	}
+}
+
+// With accurate estimates (Set A), the backfillers' generous admission
+// control yields perfect reliability: a job is only started when its
+// (exact) estimate fits the remaining deadline window.
+func TestBackfillersPerfectReliabilitySetA(t *testing.T) {
+	jobs := synthWorkload(t, 300, 0, 23)
+	for _, f := range []Factory{NewFCFSBF, NewSJFBF, NewEDFBF} {
+		rep := runPolicy(t, workload.CloneAll(jobs), f, RunConfig{Nodes: 16, Model: economy.Commodity, BasePrice: 1})
+		if rep.Accepted == 0 {
+			t.Fatal("nothing accepted")
+		}
+		if rep.Reliability != 100 {
+			t.Errorf("reliability = %v, want 100 in Set A", rep.Reliability)
+		}
+	}
+}
+
+// Libra's reliability must degrade from Set A to Set B (inaccurate
+// estimates), the paper's central Figure 3e/f contrast.
+func TestLibraReliabilityDegradesWithInaccuracy(t *testing.T) {
+	setA := runPolicy(t, synthWorkload(t, 400, 0, 29), NewLibra,
+		RunConfig{Nodes: 16, Model: economy.Commodity, BasePrice: 1})
+	setB := runPolicy(t, synthWorkload(t, 400, 100, 29), NewLibra,
+		RunConfig{Nodes: 16, Model: economy.Commodity, BasePrice: 1})
+	if setA.Reliability != 100 {
+		t.Errorf("Set A reliability = %v, want 100", setA.Reliability)
+	}
+	if setB.Reliability >= setA.Reliability {
+		t.Errorf("Set B reliability %v not below Set A %v", setB.Reliability, setA.Reliability)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	good := synthWorkload(t, 5, 0, 31)
+	if _, err := Run(good, NewLibra, RunConfig{Nodes: 0, Model: economy.Commodity, BasePrice: 1}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := Run(good, NewLibra, RunConfig{Nodes: 16, Model: economy.Commodity, BasePrice: 0}); err == nil {
+		t.Error("zero base price accepted")
+	}
+	noQoS := []*workload.Job{{ID: 1, Runtime: 10, Estimate: 10, Procs: 1}}
+	if _, err := Run(noQoS, NewLibra, RunConfig{Nodes: 16, Model: economy.Commodity, BasePrice: 1}); err == nil {
+		t.Error("QoS-less job accepted")
+	}
+	wide := []*workload.Job{qjob(1, 64, 0, 10, 10, 100, 100, 0)}
+	if _, err := Run(wide, NewLibra, RunConfig{Nodes: 16, Model: economy.Commodity, BasePrice: 1}); err == nil {
+		t.Error("overwide job accepted")
+	}
+	unordered := []*workload.Job{
+		qjob(1, 1, 100, 10, 10, 100, 100, 0),
+		qjob(2, 1, 50, 10, 10, 100, 100, 0),
+	}
+	if _, err := Run(unordered, NewLibra, RunConfig{Nodes: 16, Model: economy.Commodity, BasePrice: 1}); err == nil {
+		t.Error("unordered submissions accepted")
+	}
+}
+
+// Determinism: the same workload and policy must produce byte-identical
+// reports run to run.
+func TestRunDeterminism(t *testing.T) {
+	for _, spec := range Specs() {
+		model := spec.Models[0]
+		a := runPolicy(t, synthWorkload(t, 200, 100, 37), spec.New, RunConfig{Nodes: 16, Model: model, BasePrice: 1})
+		b := runPolicy(t, synthWorkload(t, 200, 100, 37), spec.New, RunConfig{Nodes: 16, Model: model, BasePrice: 1})
+		if a != b {
+			t.Errorf("%s: reports differ across identical runs:\n%+v\n%+v", spec.Name, a, b)
+		}
+	}
+}
+
+// Utilization must be reported by every policy and sit in (0, 1].
+func TestReportUtilization(t *testing.T) {
+	jobs := synthWorkload(t, 200, 0, 61)
+	for _, spec := range Specs() {
+		rep := runPolicy(t, workload.CloneAll(jobs), spec.New, RunConfig{Nodes: 16, Model: spec.Models[0], BasePrice: 1})
+		if rep.Utilization <= 0 || rep.Utilization > 1 {
+			t.Errorf("%s utilization = %v, want (0,1]", spec.Name, rep.Utilization)
+		}
+	}
+}

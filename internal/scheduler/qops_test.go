@@ -1,0 +1,114 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/workload"
+)
+
+func TestQoPSAcceptsFeasibleSet(t *testing.T) {
+	// Two sequential full-machine jobs, both feasible back to back.
+	jobs := []*workload.Job{
+		qjob(1, 4, 0, 100, 100, 150, 1e6, 0),
+		qjob(2, 4, 1, 100, 100, 250, 1e6, 0), // runs 100..200, deadline 251
+	}
+	col := runCollect(t, jobs, NewQoPS, cfg4(economy.Commodity))
+	for _, o := range col.Outcomes() {
+		if !o.Accepted || !o.SLAFulfilled() {
+			t.Fatalf("job %d: %+v", o.Job.ID, *o)
+		}
+	}
+}
+
+func TestQoPSRejectsJobThatWouldBreakGuarantee(t *testing.T) {
+	// Job 2's deadline only works if it runs immediately — but job 1
+	// occupies the machine until 100 and job 2 cannot fit before 120.
+	jobs := []*workload.Job{
+		qjob(1, 4, 0, 100, 100, 150, 1e6, 0),
+		qjob(2, 4, 1, 100, 100, 119, 1e6, 0),
+	}
+	col := runCollect(t, jobs, NewQoPS, cfg4(economy.Commodity))
+	if !col.Outcomes()[1].Rejected {
+		t.Error("infeasible job accepted")
+	}
+	// Job 1 unaffected.
+	if !col.Outcomes()[0].SLAFulfilled() {
+		t.Error("job 1 lost its guarantee")
+	}
+}
+
+func TestQoPSRejectsJobThatWouldBreakOthersGuarantee(t *testing.T) {
+	// Job 2 (accepted, tight deadline) must be protected: job 3 arrives
+	// with an earlier deadline (EDF would run it first) but accepting it
+	// would push job 2 past its deadline.
+	jobs := []*workload.Job{
+		qjob(1, 4, 0, 100, 100, 150, 1e6, 0),
+		qjob(2, 4, 1, 100, 100, 210, 1e6, 0), // planned 100..200, deadline 211
+		qjob(3, 4, 2, 100, 100, 205, 1e6, 0), // earlier deadline, would evict job 2's slot
+	}
+	col := runCollect(t, jobs, NewQoPS, cfg4(economy.Commodity))
+	if !col.Outcomes()[1].Accepted {
+		t.Fatal("job 2 rejected")
+	}
+	if !col.Outcomes()[2].Rejected {
+		t.Error("job 3 accepted despite breaking job 2's guarantee")
+	}
+	if !col.Outcomes()[1].SLAFulfilled() {
+		t.Error("job 2's guarantee broken anyway")
+	}
+}
+
+func TestQoPSAcceptsAtSubmissionNotStart(t *testing.T) {
+	jobs := []*workload.Job{
+		qjob(1, 4, 0, 100, 100, 150, 1e6, 0),
+		qjob(2, 4, 1, 100, 100, 300, 1e6, 0),
+	}
+	col := runCollect(t, jobs, NewQoPS, cfg4(economy.Commodity))
+	o := col.Outcomes()[1]
+	if !o.Accepted {
+		t.Fatal("job 2 rejected")
+	}
+	if o.StartTime != 100 {
+		t.Errorf("job 2 started at %v, want 100", o.StartTime)
+	}
+}
+
+func TestQoPSBudgetRejection(t *testing.T) {
+	jobs := []*workload.Job{qjob(1, 1, 0, 100, 100, 1e6, 50, 0)}
+	col := runCollect(t, jobs, NewQoPS, cfg4(economy.Commodity))
+	if !col.Outcomes()[0].Rejected {
+		t.Error("over-budget job accepted under commodity model")
+	}
+}
+
+// QoPS's defining property: with exact estimates every accepted job meets
+// its deadline, under contention, always.
+func TestQoPSGuaranteeSetA(t *testing.T) {
+	jobs := synthWorkload(t, 400, 0, 83)
+	rep := runPolicy(t, jobs, NewQoPS, RunConfig{Nodes: 16, Model: economy.Commodity, BasePrice: 1})
+	if rep.Accepted == 0 {
+		t.Fatal("nothing accepted")
+	}
+	if rep.Reliability != 100 {
+		t.Errorf("Set A reliability = %v, want 100 (the QoPS guarantee)", rep.Reliability)
+	}
+}
+
+// With trace-style estimates the guarantee erodes like everyone else's.
+func TestQoPSGuaranteeErodesSetB(t *testing.T) {
+	jobs := synthWorkload(t, 400, 100, 83)
+	rep := runPolicy(t, jobs, NewQoPS, RunConfig{Nodes: 16, Model: economy.BidBased, BasePrice: 1})
+	if rep.Reliability >= 100 {
+		t.Skip("this workload produced no overrun-induced misses; larger traces do")
+	}
+	if rep.Reliability < 50 {
+		t.Errorf("Set B reliability = %v, implausibly low", rep.Reliability)
+	}
+}
+
+func TestQoPSName(t *testing.T) {
+	if got := NewQoPS(testContext(economy.Commodity, 4)).Name(); got != "QoPS" {
+		t.Errorf("Name() = %q", got)
+	}
+}

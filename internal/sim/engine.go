@@ -1,0 +1,194 @@
+// Package sim provides a minimal deterministic discrete event simulation
+// kernel: a virtual clock and a priority queue of timestamped events.
+//
+// The kernel is intentionally small. Entities (clusters, schedulers,
+// workload feeders) schedule callbacks at future virtual times; the engine
+// dispatches them in (time, sequence) order so that runs are bit-for-bit
+// reproducible regardless of map iteration or goroutine scheduling. A single
+// simulation runs on one goroutine; parallelism in this repository happens
+// across simulations, not inside one.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time in seconds since the start of the run.
+type Time float64
+
+// Infinity is a sentinel time later than any schedulable event.
+const Infinity Time = Time(math.MaxFloat64)
+
+// Handler is a callback invoked when its event fires. It runs at the event's
+// timestamp; Engine.Now() returns that timestamp for the duration of the
+// call.
+type Handler func()
+
+// Event is a scheduled callback. The zero value is not usable; obtain events
+// from Engine.Schedule.
+type Event struct {
+	time    Time
+	seq     uint64
+	index   int // heap index; -1 once removed
+	handler Handler
+	// label is retained for tracing and error messages only.
+	label string
+}
+
+// Time returns the virtual time at which the event fires (or fired).
+func (e *Event) Time() Time { return e.time }
+
+// Cancelled reports whether the event has been removed from the queue,
+// either by firing or by Engine.Cancel.
+func (e *Event) Cancelled() bool { return e.index == -1 }
+
+// Label returns the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete event simulation kernel. The zero value is ready to
+// use; NewEngine is provided for symmetry with the rest of the repository.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	running bool
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// ErrPast is returned by Schedule when the requested time precedes the
+// current clock.
+var ErrPast = errors.New("sim: event scheduled in the past")
+
+// Schedule queues h to run at time t with a diagnostic label. It returns the
+// event so the caller may Cancel it later. Scheduling at the current time is
+// allowed (the event fires after the currently running handler returns).
+func (e *Engine) Schedule(t Time, label string, h Handler) (*Event, error) {
+	if t < e.now {
+		return nil, fmt.Errorf("%w: at %v, now %v (%s)", ErrPast, t, e.now, label)
+	}
+	if h == nil {
+		return nil, fmt.Errorf("sim: nil handler (%s)", label)
+	}
+	ev := &Event{time: t, seq: e.seq, handler: h, label: label}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// MustSchedule is Schedule for callers that guarantee t >= Now().
+// It panics on error; the simulation layers use it after clamping times.
+func (e *Engine) MustSchedule(t Time, label string, h Handler) *Event {
+	ev, err := e.Schedule(t, label, h)
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}
+
+// After schedules h to run d seconds from now.
+func (e *Engine) After(d Time, label string, h Handler) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.MustSchedule(e.now+d, label, h)
+}
+
+// Cancel removes ev from the queue. Cancelling an already-fired or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index == -1 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	return true
+}
+
+// Step dispatches the single earliest event. It returns false when the queue
+// is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.time
+	e.fired++
+	ev.handler()
+	return true
+}
+
+// Run dispatches events until the queue is empty.
+func (e *Engine) Run() {
+	if e.running {
+		panic("sim: Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+}
+
+// RunUntil dispatches events with time <= horizon, then advances the clock
+// to horizon (if it is ahead of the last event). Remaining events stay
+// queued.
+func (e *Engine) RunUntil(horizon Time) {
+	if e.running {
+		panic("sim: RunUntil re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 && e.queue[0].time <= horizon {
+		e.Step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+}

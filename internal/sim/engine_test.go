@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{5, 1, 3, 2, 4} {
+		at := at
+		e.MustSchedule(at, "t", func() { got = append(got, at) })
+	}
+	e.Run()
+	want := []Time{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineFIFOWithinSameTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.MustSchedule(7, "same", func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestEngineClockAdvances(t *testing.T) {
+	e := NewEngine()
+	e.MustSchedule(10, "a", func() {
+		if e.Now() != 10 {
+			t.Errorf("Now() = %v inside handler, want 10", e.Now())
+		}
+	})
+	e.Run()
+	if e.Now() != 10 {
+		t.Errorf("Now() = %v after run, want 10", e.Now())
+	}
+	if e.Fired() != 1 {
+		t.Errorf("Fired() = %d, want 1", e.Fired())
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	e := NewEngine()
+	e.MustSchedule(5, "a", func() {
+		if _, err := e.Schedule(4, "past", func() {}); err == nil {
+			t.Error("scheduling in the past succeeded, want error")
+		}
+	})
+	e.Run()
+}
+
+func TestScheduleNilHandlerRejected(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Schedule(1, "nil", nil); err == nil {
+		t.Error("scheduling nil handler succeeded, want error")
+	}
+}
+
+func TestScheduleAtCurrentTime(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.MustSchedule(5, "outer", func() {
+		order = append(order, "outer")
+		e.MustSchedule(5, "inner", func() { order = append(order, "inner") })
+	})
+	e.MustSchedule(6, "later", func() { order = append(order, "later") })
+	e.Run()
+	want := []string{"outer", "inner", "later"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.MustSchedule(3, "victim", func() { fired = true })
+	if !e.Cancel(ev) {
+		t.Error("Cancel returned false for a pending event")
+	}
+	if e.Cancel(ev) {
+		t.Error("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("Cancelled() = false after cancel")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	e := NewEngine()
+	if e.Cancel(nil) {
+		t.Error("Cancel(nil) returned true")
+	}
+}
+
+func TestCancelFromHandler(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	victim := e.MustSchedule(10, "victim", func() { fired = true })
+	e.MustSchedule(5, "killer", func() { e.Cancel(victim) })
+	e.Run()
+	if fired {
+		t.Error("event cancelled mid-run still fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		e.MustSchedule(at, "t", func() { got = append(got, at) })
+	}
+	e.RunUntil(3)
+	if len(got) != 3 {
+		t.Fatalf("RunUntil(3) fired %d events, want 3", len(got))
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", e.Pending())
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now() = %v, want 3", e.Now())
+	}
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Errorf("Now() = %v after RunUntil(100), want 100", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	e := NewEngine()
+	e.MustSchedule(5, "setup", func() {
+		ev := e.After(-3, "neg", func() {})
+		if ev.Time() != 5 {
+			t.Errorf("After(-3) scheduled at %v, want 5 (clamped)", ev.Time())
+		}
+	})
+	e.Run()
+}
+
+func TestEventLabel(t *testing.T) {
+	e := NewEngine()
+	ev := e.MustSchedule(1, "hello", func() {})
+	if ev.Label() != "hello" {
+		t.Errorf("Label() = %q, want %q", ev.Label(), "hello")
+	}
+}
+
+// Property: for any set of event times, dispatch order is the sorted order,
+// with ties broken by scheduling sequence.
+func TestDispatchOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		e := NewEngine()
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r % 50) // force ties
+			e.MustSchedule(at, "p", func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cancelling a random subset never fires those events and fires
+// everything else exactly once.
+func TestCancelSubsetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		e := NewEngine()
+		const n = 100
+		fired := make([]int, n)
+		events := make([]*Event, n)
+		for i := 0; i < n; i++ {
+			i := i
+			events[i] = e.MustSchedule(Time(rng.Intn(30)), "p", func() { fired[i]++ })
+		}
+		cancelled := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				e.Cancel(events[i])
+				cancelled[i] = true
+			}
+		}
+		e.Run()
+		for i := 0; i < n; i++ {
+			want := 1
+			if cancelled[i] {
+				want = 0
+			}
+			if fired[i] != want {
+				t.Fatalf("trial %d: event %d fired %d times, want %d", trial, i, fired[i], want)
+			}
+		}
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.MustSchedule(Time(j%97), "b", func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,92 @@
+// Package stats provides the seeded random distributions and summary
+// statistics used by the workload generator, QoS synthesizer, and risk
+// analysis. All randomness flows through an explicitly seeded *rand.Rand so
+// every simulation in this repository is reproducible.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Rng aliases math/rand.Rand so dependent packages name their PRNG through
+// this package and stay on the explicitly seeded path.
+type Rng = rand.Rand
+
+// NewRand returns a deterministic PRNG for the given seed.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Normal samples N(mean, stddev²).
+func Normal(rng *rand.Rand, mean, stddev float64) float64 {
+	return mean + stddev*rng.NormFloat64()
+}
+
+// TruncNormal samples N(mean, stddev²) truncated to [lo, hi] by resampling
+// (falling back to clamping after a bounded number of attempts, so a
+// degenerate interval cannot loop forever).
+func TruncNormal(rng *rand.Rand, mean, stddev, lo, hi float64) float64 {
+	if lo > hi {
+		panic(fmt.Sprintf("stats: TruncNormal lo %v > hi %v", lo, hi))
+	}
+	for i := 0; i < 64; i++ {
+		v := Normal(rng, mean, stddev)
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+	return math.Min(hi, math.Max(lo, mean))
+}
+
+// LogNormal samples a log-normal with the given parameters of the underlying
+// normal (mu, sigma).
+func LogNormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(Normal(rng, mu, sigma))
+}
+
+// LogNormalFromMeanCV derives (mu, sigma) so the log-normal itself has the
+// given mean and coefficient of variation, then samples it. Handy for
+// calibrating the synthetic trace to published trace means.
+func LogNormalFromMeanCV(rng *rand.Rand, mean, cv float64) float64 {
+	if mean <= 0 {
+		panic(fmt.Sprintf("stats: LogNormalFromMeanCV mean %v <= 0", mean))
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(mean) - sigma2/2
+	return LogNormal(rng, mu, math.Sqrt(sigma2))
+}
+
+// Exponential samples an exponential distribution with the given mean.
+func Exponential(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}
+
+// Choice returns true with probability p.
+func Choice(rng *rand.Rand, p float64) bool {
+	return rng.Float64() < p
+}
+
+// WeightedIndex picks an index proportionally to weights. Weights must be
+// non-negative and not all zero.
+func WeightedIndex(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("stats: all weights zero")
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

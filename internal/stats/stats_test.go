@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); got != c.want {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := StdDev([]float64{3}); got != 0 {
+		t.Errorf("StdDev of one sample = %v, want 0", got)
+	}
+	if got := StdDev(nil); got != 0 {
+		t.Errorf("StdDev of nil = %v, want 0", got)
+	}
+	if got := StdDev([]float64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("StdDev of constant = %v, want 0", got)
+	}
+}
+
+func TestStdDevNonNegativeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+			// keep values bounded so E[x^2] doesn't overflow
+			raw[i] = math.Mod(raw[i], 1e6)
+		}
+		return StdDev(raw) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -2, 7, 0})
+	if lo != -2 || hi != 7 {
+		t.Errorf("MinMax = (%v, %v), want (-2, 7)", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax(empty) did not panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	// y = 2x + 1 exactly.
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7}
+	slope, intercept, ok := LinearFit(x, y)
+	if !ok || !almostEqual(slope, 2, 1e-12) || !almostEqual(intercept, 1, 1e-12) {
+		t.Errorf("LinearFit = (%v, %v, %v), want (2, 1, true)", slope, intercept, ok)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if _, _, ok := LinearFit([]float64{1}, []float64{2}); ok {
+		t.Error("LinearFit with one point reported ok")
+	}
+	if _, _, ok := LinearFit([]float64{2, 2, 2}, []float64{1, 5, 9}); ok {
+		t.Error("LinearFit with constant x reported ok")
+	}
+	if _, _, ok := LinearFit([]float64{1, 2}, []float64{1}); ok {
+		t.Error("LinearFit with mismatched lengths reported ok")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	rng := NewRand(1)
+	const n = 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = Normal(rng, 10, 3)
+	}
+	if m := Mean(xs); !almostEqual(m, 10, 0.05) {
+		t.Errorf("Normal mean = %v, want ~10", m)
+	}
+	if s := StdDev(xs); !almostEqual(s, 3, 0.05) {
+		t.Errorf("Normal stddev = %v, want ~3", s)
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	rng := NewRand(2)
+	for i := 0; i < 10000; i++ {
+		v := TruncNormal(rng, 5, 10, 1, 6)
+		if v < 1 || v > 6 {
+			t.Fatalf("TruncNormal out of bounds: %v", v)
+		}
+	}
+}
+
+func TestTruncNormalDegenerateInterval(t *testing.T) {
+	rng := NewRand(3)
+	// Mean far outside a tiny interval: must terminate and clamp.
+	v := TruncNormal(rng, 100, 0.001, 1, 1.000001)
+	if v < 1 || v > 1.000001 {
+		t.Errorf("TruncNormal degenerate = %v, want within [1, 1.000001]", v)
+	}
+}
+
+func TestTruncNormalPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TruncNormal(lo>hi) did not panic")
+		}
+	}()
+	TruncNormal(NewRand(1), 0, 1, 5, 1)
+}
+
+func TestLogNormalFromMeanCV(t *testing.T) {
+	rng := NewRand(4)
+	const n = 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = LogNormalFromMeanCV(rng, 8671, 1.5)
+	}
+	m := Mean(xs)
+	if math.Abs(m-8671)/8671 > 0.03 {
+		t.Errorf("LogNormalFromMeanCV mean = %v, want ~8671", m)
+	}
+	for _, x := range xs[:1000] {
+		if x <= 0 {
+			t.Fatalf("LogNormal produced non-positive %v", x)
+		}
+	}
+}
+
+func TestLogNormalFromMeanCVPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LogNormalFromMeanCV(mean<=0) did not panic")
+		}
+	}()
+	LogNormalFromMeanCV(NewRand(1), 0, 1)
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := NewRand(5)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += Exponential(rng, 1969)
+	}
+	m := sum / n
+	if math.Abs(m-1969)/1969 > 0.03 {
+		t.Errorf("Exponential mean = %v, want ~1969", m)
+	}
+}
+
+func TestChoiceProbability(t *testing.T) {
+	rng := NewRand(6)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if Choice(rng, 0.2) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.2) > 0.01 {
+		t.Errorf("Choice(0.2) hit rate = %v", p)
+	}
+}
+
+func TestWeightedIndex(t *testing.T) {
+	rng := NewRand(7)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[WeightedIndex(rng, weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index selected %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestWeightedIndexPanics(t *testing.T) {
+	for name, w := range map[string][]float64{
+		"negative": {1, -1},
+		"allZero":  {0, 0},
+	} {
+		w := w
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("WeightedIndex(%v) did not panic", w)
+				}
+			}()
+			WeightedIndex(NewRand(1), w)
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := NewRand(99), NewRand(99)
+	for i := 0; i < 1000; i++ {
+		if Normal(a, 0, 1) != Normal(b, 0, 1) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs (the paper's
+// volatility measure, Eq. 6: sqrt(E[x²] − E[x]²)), or 0 for fewer than two
+// samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sq := 0.0
+	for _, x := range xs {
+		sq += x * x
+	}
+	v := sq/float64(len(xs)) - m*m
+	if v < 0 { // floating point guard
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// MinMax returns the minimum and maximum of xs. It panics on an empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// LinearFit returns the least-squares slope and intercept of y against x.
+// With fewer than two distinct x values the slope is reported as 0 and ok is
+// false (the paper's "no trend line" case).
+func LinearFit(x, y []float64) (slope, intercept float64, ok bool) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, false
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy float64
+	for i := range x {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		return 0, 0, false
+	}
+	slope = sxy / sxx
+	return slope, my - slope*mx, true
+}

@@ -1,0 +1,61 @@
+package workload_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Generating a calibrated synthetic trace and inspecting its statistics.
+func ExampleGenerate() {
+	cfg := workload.DefaultSynthConfig()
+	cfg.Jobs = 1000
+	trace, err := workload.Generate(cfg, 42)
+	if err != nil {
+		panic(err)
+	}
+	ts := workload.Stats(trace, 128)
+	fmt.Printf("jobs: %d\n", ts.Jobs)
+	fmt.Printf("max width within machine: %v\n", ts.MaxWidth <= 128)
+	fmt.Printf("mostly over-estimated: %v\n", ts.UnderEstimateFrac < 0.15)
+	// Output:
+	// jobs: 1000
+	// max width within machine: true
+	// mostly over-estimated: true
+}
+
+// Parsing a Standard Workload Format trace.
+func ExampleReadSWF() {
+	const swf = `; header comment
+1 0 5 3600 8 -1 -1 8 7200 -1 1 3 1 -1 1 -1 -1 -1
+2 600 0 1800 4 -1 -1 4 3600 -1 1 3 1 -1 1 -1 -1 -1
+`
+	jobs, err := workload.ReadSWF(strings.NewReader(swf))
+	if err != nil {
+		panic(err)
+	}
+	for _, j := range jobs {
+		fmt.Printf("job %d: %d procs, runtime %.0f s, estimate %.0f s\n",
+			j.ID, j.Procs, j.Runtime, j.Estimate)
+	}
+	// Output:
+	// job 1: 8 procs, runtime 3600 s, estimate 7200 s
+	// job 2: 4 procs, runtime 1800 s, estimate 3600 s
+}
+
+// Slicing a trace the way the paper does (its last 5000 jobs of SDSC SP2).
+func ExampleLastN() {
+	jobs := []*workload.Job{
+		{ID: 7, Submit: 1000, Runtime: 60, Estimate: 60, Procs: 1},
+		{ID: 8, Submit: 2000, Runtime: 60, Estimate: 60, Procs: 1},
+		{ID: 9, Submit: 2600, Runtime: 60, Estimate: 60, Procs: 1},
+	}
+	tail := workload.LastN(jobs, 2)
+	for _, j := range tail {
+		fmt.Printf("job %d submits at %.0f\n", j.ID, j.Submit)
+	}
+	// Output:
+	// job 1 submits at 0
+	// job 2 submits at 600
+}

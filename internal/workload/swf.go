@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The Standard Workload Format (SWF) of the Parallel Workloads Archive:
+// one job per line, 18 whitespace-separated fields, -1 for missing values,
+// comment/header lines starting with ';'. Field indices (0-based):
+//
+//	0 job number          6 used memory         12 group ID
+//	1 submit time         7 requested procs     13 executable
+//	2 wait time           8 requested time      14 queue
+//	3 run time            9 requested memory    15 partition
+//	4 allocated procs    10 status              16 preceding job
+//	5 average CPU time   11 user ID             17 think time
+//
+// ReadSWF lets a real SDSC-SP2 trace file drop into this reproduction
+// unchanged; WriteSWF round-trips synthetic traces for external tools.
+
+const swfFields = 18
+
+// ReadSWF parses an SWF stream into jobs. Jobs with missing or non-positive
+// runtime or width are skipped (matching the usual "cleaned trace" handling);
+// a job whose estimate is missing inherits its runtime as the estimate.
+func ReadSWF(r io.Reader) ([]*Job, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var jobs []*Job
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, ";") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < swfFields {
+			return nil, fmt.Errorf("workload: swf line %d: %d fields, want %d", line, len(fields), swfFields)
+		}
+		get := func(i int) (float64, error) {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return 0, fmt.Errorf("workload: swf line %d field %d: %v", line, i, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("workload: swf line %d field %d: non-finite value %v", line, i, v)
+			}
+			return v, nil
+		}
+		id, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		submit, err := get(1)
+		if err != nil {
+			return nil, err
+		}
+		runtime, err := get(3)
+		if err != nil {
+			return nil, err
+		}
+		alloc, err := get(4)
+		if err != nil {
+			return nil, err
+		}
+		reqProcs, err := get(7)
+		if err != nil {
+			return nil, err
+		}
+		reqTime, err := get(8)
+		if err != nil {
+			return nil, err
+		}
+		procs := alloc
+		if procs <= 0 {
+			procs = reqProcs
+		}
+		if runtime <= 0 || procs <= 0 || submit < 0 {
+			continue // unusable record, as in cleaned traces
+		}
+		est := reqTime
+		if est <= 0 {
+			est = runtime
+		}
+		jobs = append(jobs, &Job{
+			ID:       int(id),
+			Submit:   submit,
+			Runtime:  runtime,
+			Estimate: est,
+			Procs:    int(procs),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading swf: %w", err)
+	}
+	return jobs, nil
+}
+
+// WriteSWF writes jobs as a valid SWF stream with a minimal header. Fields
+// this model does not carry are written as -1.
+func WriteSWF(w io.Writer, jobs []*Job, comment string) error {
+	bw := bufio.NewWriter(w)
+	if comment != "" {
+		for _, l := range strings.Split(comment, "\n") {
+			if _, err := fmt.Fprintf(bw, "; %s\n", l); err != nil {
+				return err
+			}
+		}
+	}
+	for _, j := range jobs {
+		// job submit wait run alloc cpu mem reqprocs reqtime reqmem
+		// status uid gid exe queue partition preceding think
+		_, err := fmt.Fprintf(bw, "%d %.0f -1 %.0f %d -1 -1 %d %.0f -1 1 -1 -1 -1 -1 -1 -1 -1\n",
+			j.ID, j.Submit, j.Runtime, j.Procs, j.Procs, j.Estimate)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LastN returns the last n jobs of a trace (the paper uses the last 5000
+// jobs of SDSC SP2), rebased so the first returned job submits at time 0 and
+// renumbered from 1.
+func LastN(jobs []*Job, n int) []*Job {
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	tail := CloneAll(jobs[len(jobs)-n:])
+	if len(tail) == 0 {
+		return tail
+	}
+	base := tail[0].Submit
+	for i, j := range tail {
+		j.Submit -= base
+		j.ID = i + 1
+	}
+	return tail
+}

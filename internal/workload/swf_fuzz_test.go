@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSWF hardens the trace parser against arbitrary input: it must
+// never panic, and whatever it accepts must be valid, re-serializable, and
+// stable under a round trip.
+func FuzzReadSWF(f *testing.F) {
+	f.Add(sampleSWF)
+	f.Add("")
+	f.Add("; comment only\n")
+	f.Add("1 0 5 100 4 -1 -1 4 600 -1 1 3 1 -1 1 -1 -1 -1\n")
+	f.Add("1 0 5 100 4 -1 -1 4 600 -1 1 3 1 -1 1 -1 -1\n") // 17 fields
+	f.Add("1 0 5 1e309 4 -1 -1 4 600 -1 1 3 1 -1 1 -1 -1 -1\n")
+	f.Add("1 -5 5 100 4 -1 -1 4 600 -1 1 3 1 -1 1 -1 -1 -1\n")
+	f.Add(strings.Repeat("9", 400) + "\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		jobs, err := ReadSWF(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, j := range jobs {
+			if j.Runtime <= 0 || j.Procs <= 0 || j.Submit < 0 || j.Estimate <= 0 {
+				t.Fatalf("parser accepted unusable job %+v", *j)
+			}
+		}
+		// Round trip: what we write must parse back to the same jobs.
+		var buf bytes.Buffer
+		if err := WriteSWF(&buf, jobs, ""); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		back, err := ReadSWF(&buf)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if len(back) != len(jobs) {
+			t.Fatalf("round trip changed job count %d -> %d", len(jobs), len(back))
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// SynthConfig calibrates the synthetic trace generator. The defaults
+// (DefaultSynthConfig) match the statistics the paper reports for the last
+// 5000 jobs of the SDSC SP2 trace: mean inter-arrival 1969 s, mean runtime
+// 8671 s, mean width 17 processors on a 128-node machine, and user runtime
+// estimates of which ~8% are under-estimates and ~92% over-estimates.
+type SynthConfig struct {
+	// Jobs is the number of jobs to generate.
+	Jobs int
+	// MeanInterArrival is the mean gap between submissions in seconds
+	// (exponential arrivals).
+	MeanInterArrival float64
+	// MeanRuntime and RuntimeCV shape the log-normal runtime distribution.
+	MeanRuntime float64
+	RuntimeCV   float64
+	// MaxRuntime caps runtimes (the SP2 queue limit was 18 h).
+	MaxRuntime float64
+	// Widths and WidthWeights define the processor-count mixture. Both must
+	// be the same length.
+	Widths       []int
+	WidthWeights []float64
+	// UnderEstimateFrac is the fraction of jobs whose user estimate falls
+	// below the actual runtime.
+	UnderEstimateFrac float64
+	// MinOverAccuracy floors the accuracy of over-estimates: an
+	// over-estimated job's accuracy runtime/estimate is drawn uniformly
+	// from [MinOverAccuracy, 1), the roughly flat accuracy histogram
+	// observed in production traces (Mu'alem & Feitelson; Tsafrir et
+	// al.). Lower values give heavier over-estimation tails.
+	MinOverAccuracy float64
+	// EstimateRounding rounds estimates up to this granularity in seconds
+	// (users quote round numbers).
+	EstimateRounding float64
+}
+
+// DefaultSynthConfig returns the SDSC-SP2-calibrated configuration.
+func DefaultSynthConfig() SynthConfig {
+	return SynthConfig{
+		Jobs:              5000,
+		MeanInterArrival:  1969,
+		MeanRuntime:       8671,
+		RuntimeCV:         1.8,
+		MaxRuntime:        64800, // 18 hours
+		Widths:            []int{1, 2, 4, 8, 16, 32, 64, 128},
+		WidthWeights:      []float64{0.25, 0.12, 0.13, 0.15, 0.14, 0.12, 0.07, 0.02},
+		UnderEstimateFrac: 0.08,
+		MinOverAccuracy:   0.02,
+		EstimateRounding:  300,
+	}
+}
+
+// Validate checks configuration consistency.
+func (c *SynthConfig) Validate() error {
+	switch {
+	case c.Jobs <= 0:
+		return fmt.Errorf("workload: synth: non-positive job count %d", c.Jobs)
+	case c.MeanInterArrival <= 0:
+		return fmt.Errorf("workload: synth: non-positive inter-arrival %v", c.MeanInterArrival)
+	case c.MeanRuntime <= 0:
+		return fmt.Errorf("workload: synth: non-positive mean runtime %v", c.MeanRuntime)
+	case c.RuntimeCV <= 0:
+		return fmt.Errorf("workload: synth: non-positive runtime CV %v", c.RuntimeCV)
+	case c.MaxRuntime < c.MeanRuntime:
+		return fmt.Errorf("workload: synth: max runtime %v below mean %v", c.MaxRuntime, c.MeanRuntime)
+	case len(c.Widths) == 0 || len(c.Widths) != len(c.WidthWeights):
+		return fmt.Errorf("workload: synth: widths/weights mismatch (%d vs %d)", len(c.Widths), len(c.WidthWeights))
+	case c.UnderEstimateFrac < 0 || c.UnderEstimateFrac > 1:
+		return fmt.Errorf("workload: synth: under-estimate fraction %v outside [0,1]", c.UnderEstimateFrac)
+	case c.MinOverAccuracy <= 0 || c.MinOverAccuracy >= 1:
+		return fmt.Errorf("workload: synth: over-estimate accuracy floor %v outside (0,1)", c.MinOverAccuracy)
+	case c.EstimateRounding <= 0:
+		return fmt.Errorf("workload: synth: non-positive estimate rounding %v", c.EstimateRounding)
+	}
+	for _, w := range c.Widths {
+		if w <= 0 {
+			return fmt.Errorf("workload: synth: non-positive width %d", w)
+		}
+	}
+	return nil
+}
+
+// Generate produces a deterministic synthetic trace for the configuration
+// and seed. The returned jobs carry trace shape only; the qos package
+// attaches deadlines, budgets, and penalty rates.
+func Generate(cfg SynthConfig, seed int64) ([]*Job, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRand(seed)
+	jobs := make([]*Job, 0, cfg.Jobs)
+	now := 0.0
+	for i := 0; i < cfg.Jobs; i++ {
+		if i > 0 {
+			now += stats.Exponential(rng, cfg.MeanInterArrival)
+		}
+		runtime := stats.LogNormalFromMeanCV(rng, cfg.MeanRuntime, cfg.RuntimeCV)
+		runtime = stats.Clamp(runtime, 1, cfg.MaxRuntime)
+		width := cfg.Widths[stats.WeightedIndex(rng, cfg.WidthWeights)]
+		jobs = append(jobs, &Job{
+			ID:       i + 1,
+			Submit:   math.Floor(now),
+			Runtime:  math.Ceil(runtime),
+			Estimate: synthesizeEstimate(rng, cfg, runtime),
+			Procs:    width,
+		})
+	}
+	return jobs, nil
+}
+
+// synthesizeEstimate models user runtime estimates: a small fraction are
+// under-estimates (uniform 30–95% of the true runtime); the rest are
+// over-estimates with accuracy runtime/estimate drawn uniformly from
+// [MinOverAccuracy, 1) — the flat accuracy histogram of production traces
+// — rounded up to the granularity users quote (subject to the queue limit,
+// which itself is a round number so stays a valid over-estimate).
+func synthesizeEstimate(rng *stats.Rng, cfg SynthConfig, runtime float64) float64 {
+	if stats.Choice(rng, cfg.UnderEstimateFrac) {
+		est := runtime * (0.3 + 0.65*rng.Float64())
+		return math.Max(1, math.Floor(est))
+	}
+	accuracy := cfg.MinOverAccuracy + (1-cfg.MinOverAccuracy)*rng.Float64()
+	est := runtime / accuracy
+	est = math.Ceil(est/cfg.EstimateRounding) * cfg.EstimateRounding
+	if est > cfg.MaxRuntime {
+		est = math.Max(cfg.MaxRuntime, math.Ceil(runtime/cfg.EstimateRounding)*cfg.EstimateRounding)
+	}
+	if est <= runtime { // rounding near the cap must stay an over-estimate
+		est = math.Ceil(runtime) + 1
+	}
+	return est
+}

@@ -1,0 +1,12 @@
+set title "Figure 6 (bid-based, Set B): separate — wait"
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right
+plot \
+  "plot.dat" index 0 title "FCFS-BF" with points pointtype 1, \
+  "plot.dat" index 1 title "EDF-BF" with points pointtype 2, \
+  "plot.dat" index 2 title "Libra" with points pointtype 3, \
+  "plot.dat" index 3 title "LibraRiskD" with points pointtype 4, \
+  "plot.dat" index 4 title "FirstReward" with points pointtype 5
