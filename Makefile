@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz results examples clean
+.PHONY: all build vet test race cover bench fuzz results examples clean verify
 
 all: build vet test
 
@@ -18,6 +18,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# CI gate: vet everything, then race-test the two packages with
+# worker-pool concurrency (the suite runner and its observer plumbing).
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/experiment ./internal/obs
 
 cover:
 	$(GO) test -cover ./...

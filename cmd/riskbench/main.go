@@ -9,11 +9,20 @@
 //
 // Output lands under -out (default results/), one directory per
 // model/set/figure panel.
+//
+// Long runs are observable and restartable: every completed cell is
+// journaled to <out>/journal.jsonl as it finishes, -progress prints
+// done/total with an ETA, -resume skips cells already journaled by an
+// interrupted (or configuration-adjacent) prior run, and -pprof serves
+// net/http/pprof plus expvar throughput counters while the suite is in
+// flight.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof: registers /debug/pprof on the default mux
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,6 +30,7 @@ import (
 
 	"repro/internal/economy"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/risk"
 )
@@ -37,6 +47,9 @@ func main() {
 		scenario  = flag.String("scenario", "", "restrict to one Table VI scenario by name")
 		outDir    = flag.String("out", "results", "output directory")
 		ascii     = flag.Bool("ascii", false, "also print ASCII plots to stdout")
+		resume    = flag.Bool("resume", false, "skip cells already recorded in <out>/journal.jsonl by a prior run")
+		progress  = flag.Duration("progress", 2*time.Second, "progress print interval (0 disables)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -49,6 +62,37 @@ func main() {
 		fatal(err)
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintln(os.Stderr, "riskbench: pprof server:", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
+
+	journalPath := filepath.Join(*outDir, "journal.jsonl")
+	var prior map[string]obs.Record
+	if *resume {
+		prior, err = obs.LoadJournal(journalPath)
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "riskbench: no journal at %s; running everything\n", journalPath)
+		} else if err != nil {
+			fatal(err)
+		} else {
+			fmt.Fprintf(os.Stderr, "riskbench: resuming from %d journaled cells\n", len(prior))
+		}
+	}
+	journal, err := obs.OpenJournal(journalPath)
+	if err != nil {
+		fatal(err)
+	}
+	reporters := []obs.Reporter{journal}
+	if *progress > 0 {
+		reporters = append(reporters, obs.NewTerminal(os.Stderr, *progress))
+	}
+	if *pprofAddr != "" {
+		reporters = append(reporters, obs.PublishVars())
+	}
+	observer := obs.Multi(reporters...)
+
 	var panels []panelRef
 	for _, m := range models {
 		for _, setB := range sets {
@@ -60,13 +104,15 @@ func main() {
 			if *scenario != "" {
 				cfg.ScenarioFilter = []string{*scenario}
 			}
+			cfg.Observer = observer
+			cfg.Resume = prior
 			start := time.Now()
 			res, err := experiment.Run(cfg)
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Printf("== %s / %s: %d simulations in %v\n",
-				m, cfg.SetName(), len(res.Scenarios)*6*len(res.Policies), time.Since(start).Round(time.Millisecond))
+				m, cfg.SetName(), res.Cells()*max(1, *reps), time.Since(start).Round(time.Millisecond))
 			refs, err := emit(res, m, cfg.SetName(), *analysis, *outDir, *ascii)
 			if err != nil {
 				fatal(err)
@@ -76,6 +122,12 @@ func main() {
 				fatal(err)
 			}
 		}
+	}
+	if err := journal.Err(); err != nil {
+		fatal(fmt.Errorf("writing journal: %w", err))
+	}
+	if err := journal.Close(); err != nil {
+		fatal(err)
 	}
 	if err := writeIndex(*outDir, panels); err != nil {
 		fatal(err)

@@ -10,6 +10,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof: registers /debug/pprof on the default mux
 	"os"
 
 	"repro/internal/economy"
@@ -33,8 +35,15 @@ func main() {
 		swf        = flag.String("swf", "", "optional SWF trace file to use instead of the synthetic trace")
 		dump       = flag.String("dump", "", "write the per-job outcome audit trail to this CSV file")
 		list       = flag.Bool("list", false, "list policies and exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address while the simulation runs")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintln(os.Stderr, "simrun: pprof server:", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	if *list {
 		fmt.Println("Policy       Models                Primary parameter")

@@ -1,9 +1,3 @@
-// Package experiment implements the paper's evaluation methodology (§5):
-// the twelve scenarios of Table VI, each varying one parameter over six
-// values while everything else stays at its default; the Set A (accurate
-// estimates) / Set B (trace estimates) split; and a parallel suite runner
-// that produces, for every (scenario, value, policy) cell, the objective
-// report of one trace-driven simulation.
 package experiment
 
 import (

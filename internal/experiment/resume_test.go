@@ -1,0 +1,252 @@
+package experiment
+
+import (
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/obs"
+)
+
+// recordingReporter captures every event, for asserting what Run reported.
+type recordingReporter struct {
+	mu       sync.Mutex
+	suites   []obs.Suite
+	starts   []obs.Cell
+	done     []obs.Record
+	summary  []obs.Summary
+	executed int
+	resumed  int
+}
+
+func (r *recordingReporter) SuiteStart(s obs.Suite) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.suites = append(r.suites, s)
+}
+
+func (r *recordingReporter) CellStart(c obs.Cell) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.starts = append(r.starts, c)
+}
+
+func (r *recordingReporter) CellDone(rec obs.Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done = append(r.done, rec)
+	if rec.Resumed {
+		r.resumed++
+	} else {
+		r.executed++
+	}
+}
+
+func (r *recordingReporter) SuiteDone(s obs.Summary) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.summary = append(r.summary, s)
+}
+
+// scenarioFiltered keeps the resume tests fast: 2 scenarios × 6 values ×
+// 5 policies = 60 cells.
+func observedSuite(t *testing.T) SuiteConfig {
+	t.Helper()
+	cfg := smallSuite(economy.Commodity, false)
+	cfg.Jobs = 60
+	cfg.ScenarioFilter = []string{"workload", "deadline bias"}
+	return cfg
+}
+
+func TestCellKeyDeterministicAndSensitive(t *testing.T) {
+	cfg := observedSuite(t)
+	base := cfg.CellKey("workload", 0.25, "Libra")
+	if base != cfg.CellKey("workload", 0.25, "Libra") {
+		t.Fatal("CellKey is not deterministic")
+	}
+	// 0 and 1 replications both mean a single run and must share a key.
+	one := cfg
+	one.Replications = 1
+	if one.CellKey("workload", 0.25, "Libra") != base {
+		t.Error("Replications 0 and 1 produce different keys")
+	}
+	mutations := map[string]SuiteConfig{}
+	m := cfg
+	m.SetB = true
+	mutations["set"] = m
+	m = cfg
+	m.Jobs = cfg.Jobs + 1
+	mutations["jobs"] = m
+	m = cfg
+	m.Nodes = cfg.Nodes * 2
+	mutations["nodes"] = m
+	m = cfg
+	m.TraceSeed++
+	mutations["trace seed"] = m
+	m = cfg
+	m.QoSSeed++
+	mutations["qos seed"] = m
+	m = cfg
+	m.Replications = 3
+	mutations["replications"] = m
+	m = cfg
+	synth := *cfg.Synth
+	synth.MeanRuntime *= 2
+	m.Synth = &synth
+	mutations["synth config"] = m
+	for name, mc := range mutations {
+		if mc.CellKey("workload", 0.25, "Libra") == base {
+			t.Errorf("changing %s did not change the cell key", name)
+		}
+	}
+	if cfg.CellKey("workload", 0.5, "Libra") == base {
+		t.Error("changing the value did not change the cell key")
+	}
+	if cfg.CellKey("workload", 0.25, "FCFS-BF") == base {
+		t.Error("changing the policy did not change the cell key")
+	}
+	if cfg.CellKey("job mix", 0.25, "Libra") == base {
+		t.Error("changing the scenario did not change the cell key")
+	}
+}
+
+func TestRunReportsEveryCell(t *testing.T) {
+	cfg := observedSuite(t)
+	rec := &recordingReporter{}
+	cfg.Observer = rec
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Cells()
+	if want != 2*6*5 {
+		t.Fatalf("filtered suite has %d cells, want 60", want)
+	}
+	if rec.executed != want || rec.resumed != 0 {
+		t.Fatalf("reporter saw %d executed / %d resumed cells, want %d / 0", rec.executed, rec.resumed, want)
+	}
+	if len(rec.starts) != want {
+		t.Fatalf("reporter saw %d CellStart events, want %d", len(rec.starts), want)
+	}
+	if len(rec.suites) != 1 || rec.suites[0].Cells != want || rec.suites[0].Resumed != 0 {
+		t.Fatalf("suite start event wrong: %+v", rec.suites)
+	}
+	if len(rec.summary) != 1 || rec.summary[0].Executed != want {
+		t.Fatalf("suite done event wrong: %+v", rec.summary)
+	}
+	seen := map[string]bool{}
+	for _, r := range rec.done {
+		if seen[r.Key] {
+			t.Fatalf("cell %s reported done twice", r.Key)
+		}
+		seen[r.Key] = true
+		if r.Key != cfg.CellKey(r.Scenario, r.Value, r.Policy) {
+			t.Fatalf("record key %s does not match CellKey for %s/%g/%s", r.Key, r.Scenario, r.Value, r.Policy)
+		}
+		if got := res.Scenarios[scenarioIndex(res, r.Scenario)].Reports[r.ValueIndex][r.Policy]; !reflect.DeepEqual(got, r.Report) {
+			t.Fatalf("record for %s/%g/%s does not match the results grid", r.Scenario, r.Value, r.Policy)
+		}
+	}
+}
+
+func scenarioIndex(res *Results, name string) int {
+	for i, sc := range res.Scenarios {
+		if sc.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestResumeSkipsCompletedCells is the checkpoint/resume contract: a run
+// resumed from a journal executes only the missing cells and produces
+// identical results.
+func TestResumeSkipsCompletedCells(t *testing.T) {
+	cfg := observedSuite(t)
+	journalPath := filepath.Join(t.TempDir(), "journal.jsonl")
+	journal, err := obs.OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Observer = journal
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	prior, err := obs.LoadJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != full.Cells() {
+		t.Fatalf("journal has %d records, want %d", len(prior), full.Cells())
+	}
+
+	// Simulate an interrupted run by dropping some journal records: the
+	// resumed run must execute exactly those cells.
+	dropped := 0
+	for key := range prior {
+		if dropped >= 7 {
+			break
+		}
+		delete(prior, key)
+		dropped++
+	}
+	rec := &recordingReporter{}
+	cfg.Observer = rec
+	cfg.Resume = prior
+	resumed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.executed != dropped {
+		t.Fatalf("resumed run executed %d cells, want %d", rec.executed, dropped)
+	}
+	if rec.resumed != full.Cells()-dropped {
+		t.Fatalf("resumed run reused %d cells, want %d", rec.resumed, full.Cells()-dropped)
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		t.Fatal("resumed results differ from the uninterrupted run")
+	}
+}
+
+// TestResumeIgnoresStaleJournal: records from a different configuration
+// must not be reused.
+func TestResumeIgnoresStaleJournal(t *testing.T) {
+	cfg := observedSuite(t)
+	journalPath := filepath.Join(t.TempDir(), "journal.jsonl")
+	journal, err := obs.OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Observer = journal
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	prior, err := obs.LoadJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := cfg
+	changed.QoSSeed++ // any parameter change invalidates every key
+	rec := &recordingReporter{}
+	changed.Observer = rec
+	changed.Resume = prior
+	res, err := Run(changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.resumed != 0 {
+		t.Fatalf("stale journal satisfied %d cells, want 0", rec.resumed)
+	}
+	if rec.executed != res.Cells() {
+		t.Fatalf("executed %d cells, want all %d", rec.executed, res.Cells())
+	}
+}

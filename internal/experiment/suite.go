@@ -3,9 +3,12 @@ package experiment
 import (
 	"fmt"
 	"runtime"
+	"strconv"
+	"time"
 
 	"repro/internal/economy"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/scheduler"
 	"repro/internal/workload"
@@ -42,6 +45,17 @@ type SuiteConfig struct {
 	// Trace optionally supplies a real trace (e.g. parsed from an SWF
 	// file); it overrides synthetic generation entirely.
 	Trace []*workload.Job
+	// Observer receives suite progress events (see obs.Reporter): suite
+	// start, each cell's start and completion, and suite end. Cell events
+	// fire concurrently from the worker pool. nil means no observation.
+	Observer obs.Reporter
+	// Resume maps cell keys to records of a prior run, typically loaded
+	// with obs.LoadJournal. Cells whose CellKey is present are not
+	// simulated: the journaled report is used verbatim (it round-trips
+	// bit for bit), and the cell is reported as Resumed. Keys cover the
+	// full parameterization, so a config change invalidates exactly the
+	// cells it affects.
+	Resume map[string]obs.Record
 }
 
 // DefaultSuiteConfig returns the paper-scale configuration.
@@ -71,6 +85,57 @@ func (c SuiteConfig) inaccuracyDefault() float64 {
 	return 0
 }
 
+// CellKey returns the deterministic identity of one (scenario, value,
+// policy) cell under this configuration: an FNV-1a hash over the model,
+// Set, scenario, value, policy, trace length, machine size, both seeds,
+// the replication count, and the workload fingerprint. Two cells share a
+// key exactly when they would run byte-identical simulations, which is
+// what makes journal records safe to reuse across runs (checkpoint /
+// resume) and stale after any config change.
+func (c SuiteConfig) CellKey(scenario string, value float64, policy string) string {
+	reps := c.Replications
+	if reps < 1 {
+		reps = 1 // 0 and 1 both mean a single replication
+	}
+	return obs.Key(
+		c.Model.String(),
+		c.SetName(),
+		scenario,
+		strconv.FormatFloat(value, 'g', -1, 64),
+		policy,
+		strconv.Itoa(c.Jobs),
+		strconv.Itoa(c.Nodes),
+		strconv.FormatInt(c.TraceSeed, 10),
+		strconv.FormatInt(c.QoSSeed, 10),
+		strconv.Itoa(reps),
+		c.workloadFingerprint(),
+	)
+}
+
+// workloadFingerprint identifies the workload source. A synthetic trace
+// is fully determined by its generator calibration (plus Jobs and
+// TraceSeed, hashed separately); an external trace is identified by its
+// job count and span — callers resuming across runs must supply the same
+// file, which SWF parsing makes deterministic.
+func (c SuiteConfig) workloadFingerprint() string {
+	if c.Trace != nil {
+		first, last := 0, 0
+		if n := len(c.Trace); n > 0 {
+			first, last = c.Trace[0].ID, c.Trace[n-1].ID
+		}
+		return fmt.Sprintf("trace|%d|%d|%d", len(c.Trace), first, last)
+	}
+	s := workload.DefaultSynthConfig()
+	if c.Synth != nil {
+		s = *c.Synth
+	}
+	s.Jobs = c.Jobs
+	return fmt.Sprintf("synth|%d|%g|%g|%g|%g|%v|%v|%g|%g|%g",
+		s.Jobs, s.MeanInterArrival, s.MeanRuntime, s.RuntimeCV, s.MaxRuntime,
+		s.Widths, s.WidthWeights,
+		s.UnderEstimateFrac, s.MinOverAccuracy, s.EstimateRounding)
+}
+
 // ScenarioResult holds one scenario's reports: Reports[valueIdx][policy].
 type ScenarioResult struct {
 	Name    string
@@ -85,6 +150,18 @@ type Results struct {
 	SetName   string
 	Policies  []string
 	Scenarios []ScenarioResult
+}
+
+// Cells returns the number of (scenario, value, policy) cells — i.e. the
+// number of averaged simulations the suite comprises. Unlike the nominal
+// 12 × 6 × 5 grid, this respects scenario filters and per-scenario value
+// counts.
+func (r *Results) Cells() int {
+	n := 0
+	for _, sc := range r.Scenarios {
+		n += len(sc.Values) * len(r.Policies)
+	}
+	return n
 }
 
 // Run executes the suite: |scenarios| × 6 values × 5 policies simulations,
@@ -145,19 +222,60 @@ func Run(cfg SuiteConfig) (*Results, error) {
 		}
 	}
 
-	type task struct{ si, vi, pi int }
+	observer := cfg.Observer
+	if observer == nil {
+		observer = obs.Nop{}
+	}
+	reps := cfg.Replications
+	if reps < 1 {
+		reps = 1
+	}
+
+	type task struct {
+		si, vi, pi int
+		cell       obs.Cell
+	}
 	type outcome struct {
 		task
 		report metrics.Report
+		wall   time.Duration
 		err    error
 	}
+	// Split the grid into resumed cells (their journaled report is reused
+	// verbatim) and pending tasks for the worker pool.
 	var tasks []task
+	var resumed []obs.Record
+	total := 0
 	for si, sc := range scenarios {
-		for vi := range sc.Values {
-			for pi := range specs {
-				tasks = append(tasks, task{si, vi, pi})
+		for vi, value := range sc.Values {
+			for pi, spec := range specs {
+				total++
+				cell := obs.Cell{
+					Key:        cfg.CellKey(sc.Name, value, spec.Name),
+					Model:      cfg.Model.String(),
+					Set:        cfg.SetName(),
+					Scenario:   sc.Name,
+					ValueIndex: vi,
+					Value:      value,
+					Policy:     spec.Name,
+				}
+				if rec, ok := cfg.Resume[cell.Key]; ok {
+					res.Scenarios[si].Reports[vi][spec.Name] = rec.Report
+					resumed = append(resumed, obs.Record{
+						Cell: cell, Replications: reps, Resumed: true, Report: rec.Report,
+					})
+					continue
+				}
+				tasks = append(tasks, task{si, vi, pi, cell})
 			}
 		}
+	}
+
+	suite := obs.Suite{Model: cfg.Model.String(), Set: cfg.SetName(), Cells: total, Resumed: len(resumed)}
+	suiteStart := time.Now()
+	observer.SuiteStart(suite)
+	for _, rec := range resumed {
+		observer.CellDone(rec)
 	}
 
 	workers := cfg.Workers
@@ -172,8 +290,10 @@ func Run(cfg SuiteConfig) (*Results, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for tk := range taskCh {
+				observer.CellStart(tk.cell)
+				start := time.Now()
 				rep, err := runCell(cfg, base, scenarios[tk.si], scenarios[tk.si].Values[tk.vi], specs[tk.pi])
-				outCh <- outcome{task: tk, report: rep, err: err}
+				outCh <- outcome{task: tk, report: rep, wall: time.Since(start), err: err}
 			}
 		}()
 	}
@@ -185,15 +305,26 @@ func Run(cfg SuiteConfig) (*Results, error) {
 	}()
 
 	var firstErr error
+	executed := 0
 	for range tasks {
 		o := <-outCh
-		if o.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("experiment: %s/%s[%d]/%s: %w",
-				cfg.SetName(), scenarios[o.si].Name, o.vi, specs[o.pi].Name, o.err)
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("experiment: %s/%s[%d]/%s: %w",
+					cfg.SetName(), scenarios[o.si].Name, o.vi, specs[o.pi].Name, o.err)
+			}
 			continue
 		}
 		res.Scenarios[o.si].Reports[o.vi][specs[o.pi].Name] = o.report
+		executed++
+		observer.CellDone(obs.Record{
+			Cell:         o.cell,
+			Replications: reps,
+			WallSeconds:  o.wall.Seconds(),
+			Report:       o.report,
+		})
 	}
+	observer.SuiteDone(obs.Summary{Suite: suite, Executed: executed, Elapsed: time.Since(suiteStart)})
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestReportJSONRoundTrip guards the contract the obs journal and the
+// results.json files depend on: a Report survives a JSON round trip bit
+// for bit, so a resumed run reproduces byte-identical output panels.
+func TestReportJSONRoundTrip(t *testing.T) {
+	in := Report{
+		Submitted:        5000,
+		Accepted:         4321,
+		SLAFulfilled:     4000,
+		Wait:             1.0 / 3.0, // non-terminating binary fraction
+		SLA:              80.0,
+		Reliability:      100.0 * 4000.0 / 4321.0,
+		Profitability:    math.Pi,
+		MeanSlowdown:     math.Nextafter(1, 2), // smallest step above 1
+		MeanResponseTime: 1e-300,               // subnormal-adjacent magnitude
+		TotalUtility:     -17.25,               // bid-based utility can be negative
+		TotalBudget:      11529712.97160133,
+		Utilization:      0.8899470064203158,
+	}
+
+	// The fixture must exercise every field: a new Report field that is
+	// left zero here would silently skip the round-trip check.
+	v := reflect.ValueOf(in)
+	for i := 0; i < v.NumField(); i++ {
+		if v.Field(i).IsZero() {
+			t.Fatalf("fixture leaves Report.%s zero; set it so the round trip covers it",
+				v.Type().Field(i).Name)
+		}
+	}
+
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("report changed across the JSON round trip:\n in  %+v\n out %+v", in, out)
+	}
+
+	// And a second encode is byte-stable (map-free struct, fixed order).
+	data2, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("re-encoding is not byte-stable:\n %s\n %s", data, data2)
+	}
+}

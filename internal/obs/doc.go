@@ -1,0 +1,31 @@
+// Package obs is the observability layer of the evaluation suite. A full
+// paper-scale riskbench invocation is up to 1440 trace-driven simulations
+// per (model, Set) panel; obs makes such runs observable while they
+// happen, resumable after a crash, and incrementally re-runnable after a
+// configuration change. It provides:
+//
+//   - Reporter, the progress interface experiment.Run drives through
+//     SuiteConfig.Observer: SuiteStart / CellStart / CellDone / SuiteDone.
+//     Nop is the default (library callers and tests pay nothing); Multi
+//     fans events out to several reporters; Terminal prints done/total,
+//     cells/sec, and an ETA on an interval.
+//
+//   - Journal, a JSONL run journal (one Record per completed cell: cell
+//     key, identity, wall time, replication count, and the full
+//     metrics.Report), flushed to disk as each cell finishes rather than
+//     at suite end. LoadJournal reads one back, tolerating the torn final
+//     line a crash mid-append leaves behind.
+//
+//   - Key, an FNV-1a content hash over a cell's full parameterization.
+//     experiment.SuiteConfig.CellKey builds keys from the model, Set,
+//     scenario, value, policy, trace length, machine size, seeds,
+//     replication count, and synthetic-workload calibration, so a journal
+//     record is only ever reused for a byte-identical simulation.
+//
+//   - Vars, expvar counters (obs.cells_done, obs.sims_done,
+//     obs.jobs_scheduled, obs.sims_per_sec) that the riskbench -pprof
+//     endpoint serves alongside net/http/pprof.
+//
+// All Reporter implementations in this package are safe for concurrent
+// use: experiment.Run invokes CellStart from every simulation worker.
+package obs

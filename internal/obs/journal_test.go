@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func sampleRecord(key string) Record {
+	return Record{
+		Cell: Cell{
+			Key:        key,
+			Model:      "commodity",
+			Set:        "Set B",
+			Scenario:   "workload",
+			ValueIndex: 2,
+			Value:      0.25,
+			Policy:     "Libra+$",
+		},
+		Replications: 3,
+		WallSeconds:  1.75,
+		Report: metrics.Report{
+			Submitted:        5000,
+			Accepted:         4321,
+			SLAFulfilled:     4000,
+			Wait:             1.0 / 3.0,
+			SLA:              80.0,
+			Reliability:      92.55,
+			Profitability:    math.Pi,
+			MeanSlowdown:     1.5,
+			MeanResponseTime: 1234.5,
+			TotalUtility:     -17.25,
+			TotalBudget:      99999.125,
+			Utilization:      0.75,
+		},
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{sampleRecord("aaa"), sampleRecord("bbb")}
+	want[1].Value = 0.5
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d records, want 2", len(got))
+	}
+	for _, w := range want {
+		// Exact equality: the JSON round trip must preserve every float
+		// bit so resumed cells reproduce byte-identical panels.
+		if !reflect.DeepEqual(got[w.Key], w) {
+			t.Errorf("record %s changed across the round trip:\n got %+v\nwant %+v", w.Key, got[w.Key], w)
+		}
+	}
+}
+
+func TestJournalResumedCellsNotJournaled(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := sampleRecord("aaa")
+	resumed.Resumed = true
+	j.CellDone(resumed)
+	j.CellDone(sampleRecord("bbb"))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("journal has %d records, want only the executed cell", len(got))
+	}
+	if _, ok := got["bbb"]; !ok {
+		t.Fatal("executed cell missing from journal")
+	}
+}
+
+func TestLoadJournalToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(sampleRecord("aaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a partial record with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"bbb","mod`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("loaded %d records, want 1 (torn tail skipped)", len(got))
+	}
+
+	// Reopening for append must newline-terminate the torn tail so the
+	// resumed run's first record stays parseable.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(sampleRecord("ccc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d records after resume append, want 2", len(got))
+	}
+	for _, key := range []string{"aaa", "ccc"} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("record %s missing after resume append", key)
+		}
+	}
+}
+
+func TestLoadJournalLastDuplicateWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := sampleRecord("aaa")
+	second := sampleRecord("aaa")
+	second.WallSeconds = 9.5
+	j.Append(first)
+	j.Append(second)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["aaa"].WallSeconds != 9.5 {
+		t.Fatalf("duplicate key resolved to the first record: %+v", got["aaa"])
+	}
+}
+
+func TestLoadJournalMissingFile(t *testing.T) {
+	_, err := LoadJournal(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("want a not-exist error, got %v", err)
+	}
+}

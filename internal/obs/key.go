@@ -1,0 +1,19 @@
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Key hashes an ordered list of identity parts into a 64-bit FNV-1a cell
+// key, rendered as 16 hex digits. Parts are separated by an ASCII unit
+// separator so the concatenation is unambiguous: Key("ab", "c") and
+// Key("a", "bc") differ.
+func Key(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0x1f})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

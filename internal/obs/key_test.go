@@ -1,0 +1,29 @@
+package obs
+
+import "testing"
+
+func TestKeyDeterministic(t *testing.T) {
+	a := Key("commodity", "Set A", "workload", "0.25", "Libra")
+	b := Key("commodity", "Set A", "workload", "0.25", "Libra")
+	if a != b {
+		t.Fatalf("same parts hashed differently: %s vs %s", a, b)
+	}
+	if len(a) != 16 {
+		t.Fatalf("key %q is not 16 hex digits", a)
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	base := Key("commodity", "Set A", "workload")
+	cases := map[string]string{
+		"changed part":   Key("commodity", "Set B", "workload"),
+		"reordered":      Key("Set A", "commodity", "workload"),
+		"moved boundary": Key("commoditySet A", "", "workload"),
+		"extra part":     Key("commodity", "Set A", "workload", ""),
+	}
+	for name, k := range cases {
+		if k == base {
+			t.Errorf("%s: collided with base key %s", name, base)
+		}
+	}
+}

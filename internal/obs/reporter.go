@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Cell identifies one (scenario, value, policy) simulation cell of a
+// suite. Key is the content hash of the cell's full parameterization (see
+// experiment.SuiteConfig.CellKey).
+type Cell struct {
+	Key        string  `json:"key"`
+	Model      string  `json:"model"`
+	Set        string  `json:"set"`
+	Scenario   string  `json:"scenario"`
+	ValueIndex int     `json:"value_index"`
+	Value      float64 `json:"value"`
+	Policy     string  `json:"policy"`
+}
+
+// Record is the journal entry for one completed cell.
+type Record struct {
+	Cell
+	// Replications is how many independently seeded simulations were
+	// averaged into Report (at least 1).
+	Replications int `json:"replications"`
+	// WallSeconds is the cell's wall-clock simulation time. Zero for
+	// resumed cells, which were not executed by this run.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Resumed marks a cell satisfied from a prior run's journal rather
+	// than executed. The journal itself never stores resumed records, so
+	// a journal always lists exactly the cells its run simulated.
+	Resumed bool `json:"resumed,omitempty"`
+	// Report is the cell's full objective report.
+	Report metrics.Report `json:"report"`
+}
+
+// Suite describes one suite run as it starts.
+type Suite struct {
+	Model string
+	Set   string
+	// Cells is the total cell count of the suite, including resumed ones.
+	Cells int
+	// Resumed is how many cells were satisfied from a prior journal and
+	// will not be executed.
+	Resumed int
+}
+
+// Summary describes a finished suite.
+type Summary struct {
+	Suite
+	// Executed is how many cells this run actually simulated.
+	Executed int
+	// Elapsed is the suite's wall-clock time.
+	Elapsed time.Duration
+}
+
+// Reporter observes the life cycle of a suite run. experiment.Run calls
+// SuiteStart once, then CellDone for every resumed cell, then — from its
+// worker pool, concurrently — CellStart as each pending cell begins and
+// CellDone as it completes, and finally SuiteDone. Implementations must
+// be safe for concurrent use.
+type Reporter interface {
+	SuiteStart(s Suite)
+	CellStart(c Cell)
+	CellDone(r Record)
+	SuiteDone(s Summary)
+}
+
+// Nop is the no-op Reporter, used when SuiteConfig.Observer is nil.
+type Nop struct{}
+
+func (Nop) SuiteStart(Suite)  {}
+func (Nop) CellStart(Cell)    {}
+func (Nop) CellDone(Record)   {}
+func (Nop) SuiteDone(Summary) {}
+
+// Multi fans every event out to each non-nil reporter in order.
+func Multi(rs ...Reporter) Reporter {
+	var kept []Reporter
+	for _, r := range rs {
+		if r != nil {
+			kept = append(kept, r)
+		}
+	}
+	return multi(kept)
+}
+
+type multi []Reporter
+
+func (m multi) SuiteStart(s Suite) {
+	for _, r := range m {
+		r.SuiteStart(s)
+	}
+}
+func (m multi) CellStart(c Cell) {
+	for _, r := range m {
+		r.CellStart(c)
+	}
+}
+func (m multi) CellDone(rec Record) {
+	for _, r := range m {
+		r.CellDone(rec)
+	}
+}
+func (m multi) SuiteDone(s Summary) {
+	for _, r := range m {
+		r.SuiteDone(s)
+	}
+}
+
+// Terminal is a Reporter that prints live progress lines — done/total,
+// cells/sec, and an ETA — to a writer on a fixed interval, plus one final
+// line per suite. It is safe for concurrent use.
+type Terminal struct {
+	w        io.Writer
+	interval time.Duration
+	now      func() time.Time // test hook
+
+	mu       sync.Mutex
+	suite    Suite
+	start    time.Time
+	done     int // cells accounted for, including resumed
+	executed int // cells this run simulated
+	stop     chan struct{}
+}
+
+// NewTerminal returns a Terminal printing to w every interval (2s when
+// interval is zero or negative).
+func NewTerminal(w io.Writer, interval time.Duration) *Terminal {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	return &Terminal{w: w, interval: interval, now: time.Now}
+}
+
+// SuiteStart resets the counters and starts the periodic printer.
+func (t *Terminal) SuiteStart(s Suite) {
+	t.mu.Lock()
+	t.suite = s
+	t.start = t.now()
+	t.done = 0
+	t.executed = 0
+	t.stop = make(chan struct{})
+	stop := t.stop
+	t.mu.Unlock()
+	go func() {
+		tick := time.NewTicker(t.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				t.print(false)
+			}
+		}
+	}()
+}
+
+// CellStart is a no-op; Terminal reports completions only.
+func (t *Terminal) CellStart(Cell) {}
+
+// CellDone advances the counters.
+func (t *Terminal) CellDone(r Record) {
+	t.mu.Lock()
+	t.done++
+	if !r.Resumed {
+		t.executed++
+	}
+	t.mu.Unlock()
+}
+
+// SuiteDone stops the periodic printer and prints the final line.
+func (t *Terminal) SuiteDone(Summary) {
+	t.mu.Lock()
+	if t.stop != nil {
+		close(t.stop)
+		t.stop = nil
+	}
+	t.mu.Unlock()
+	t.print(true)
+}
+
+func (t *Terminal) print(final bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	elapsed := t.now().Sub(t.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(t.executed) / elapsed
+	}
+	eta := "-"
+	if remaining := t.suite.Cells - t.done; remaining <= 0 {
+		eta = "0s"
+	} else if rate > 0 {
+		eta = (time.Duration(float64(remaining)/rate*float64(time.Second))).Round(time.Second).String()
+	}
+	status := "ETA " + eta
+	if final {
+		status = fmt.Sprintf("done in %v (%d resumed)",
+			time.Duration(elapsed*float64(time.Second)).Round(time.Millisecond), t.suite.Resumed)
+	}
+	fmt.Fprintf(t.w, "%s/%s: %d/%d cells, %.1f cells/s, %s\n",
+		t.suite.Model, t.suite.Set, t.done, t.suite.Cells, rate, status)
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer makes bytes.Buffer safe for the Terminal's printer goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestTerminalFinalLine(t *testing.T) {
+	var buf syncBuffer
+	term := NewTerminal(&buf, time.Hour) // interval never fires; only the final line prints
+	term.SuiteStart(Suite{Model: "commodity", Set: "Set A", Cells: 4, Resumed: 1})
+	term.CellDone(Record{Resumed: true})
+	for i := 0; i < 3; i++ {
+		term.CellDone(Record{})
+	}
+	term.SuiteDone(Summary{})
+	out := buf.String()
+	if !strings.Contains(out, "commodity/Set A: 4/4 cells") {
+		t.Errorf("final line missing done/total: %q", out)
+	}
+	if !strings.Contains(out, "(1 resumed)") {
+		t.Errorf("final line missing resumed count: %q", out)
+	}
+}
+
+func TestTerminalConcurrentCellDone(t *testing.T) {
+	term := NewTerminal(io.Discard, time.Millisecond)
+	term.SuiteStart(Suite{Model: "bid-based", Set: "Set B", Cells: 64})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				term.CellStart(Cell{})
+				term.CellDone(Record{})
+			}
+		}()
+	}
+	wg.Wait()
+	time.Sleep(5 * time.Millisecond) // let the ticker print at least once
+	term.SuiteDone(Summary{})
+}
+
+func TestMultiFansOutAndSkipsNil(t *testing.T) {
+	var a, b countingReporter
+	m := Multi(&a, nil, &b)
+	m.SuiteStart(Suite{})
+	m.CellStart(Cell{})
+	m.CellDone(Record{})
+	m.CellDone(Record{})
+	m.SuiteDone(Summary{})
+	for name, r := range map[string]*countingReporter{"first": &a, "second": &b} {
+		if r.starts != 1 || r.cells != 1 || r.dones != 2 || r.suites != 1 {
+			t.Errorf("%s reporter saw starts=%d cells=%d dones=%d suites=%d",
+				name, r.starts, r.cells, r.dones, r.suites)
+		}
+	}
+}
+
+type countingReporter struct {
+	mu                           sync.Mutex
+	starts, cells, dones, suites int
+}
+
+func (c *countingReporter) SuiteStart(Suite) { c.mu.Lock(); c.starts++; c.mu.Unlock() }
+func (c *countingReporter) CellStart(Cell)   { c.mu.Lock(); c.cells++; c.mu.Unlock() }
+func (c *countingReporter) CellDone(Record)  { c.mu.Lock(); c.dones++; c.mu.Unlock() }
+func (c *countingReporter) SuiteDone(Summary) {
+	c.mu.Lock()
+	c.suites++
+	c.mu.Unlock()
+}
+
+func TestVarsCountExecutedWork(t *testing.T) {
+	v := PublishVars()
+	if v != PublishVars() {
+		t.Fatal("PublishVars is not a singleton")
+	}
+	cells0, sims0, jobs0 := v.cells.Value(), v.sims.Value(), v.jobs.Value()
+	v.SuiteStart(Suite{})
+	v.CellDone(Record{Replications: 3, Report: sampleRecord("x").Report})
+	v.CellDone(Record{Resumed: true, Replications: 3})
+	v.CellDone(Record{}) // zero replications counts as one simulation
+	v.SuiteDone(Summary{})
+	if got := v.cells.Value() - cells0; got != 2 {
+		t.Errorf("cells_done advanced by %d, want 2", got)
+	}
+	if got := v.sims.Value() - sims0; got != 4 {
+		t.Errorf("sims_done advanced by %d, want 4", got)
+	}
+	if got := v.jobs.Value() - jobs0; got != 3*5000 {
+		t.Errorf("jobs_scheduled advanced by %d, want %d", got, 3*5000)
+	}
+}

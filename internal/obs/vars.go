@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Vars is a Reporter that maintains the process-wide expvar counters the
+// -pprof HTTP endpoint serves under /debug/vars:
+//
+//	obs.cells_done      completed (executed, not resumed) cells
+//	obs.sims_done       completed simulations (cells × replications)
+//	obs.jobs_scheduled  jobs submitted across completed simulations
+//	obs.sims_per_sec    simulation throughput since the first suite start
+type Vars struct {
+	cells *expvar.Int
+	sims  *expvar.Int
+	jobs  *expvar.Int
+	start atomic.Int64 // unix nanos of the first SuiteStart; 0 = not started
+}
+
+var (
+	varsOnce sync.Once
+	vars     *Vars
+)
+
+// PublishVars returns the process-wide Vars, publishing the expvar
+// variables on first call. expvar registration is global and permanent,
+// hence the singleton.
+func PublishVars() *Vars {
+	varsOnce.Do(func() {
+		vars = &Vars{
+			cells: expvar.NewInt("obs.cells_done"),
+			sims:  expvar.NewInt("obs.sims_done"),
+			jobs:  expvar.NewInt("obs.jobs_scheduled"),
+		}
+		expvar.Publish("obs.sims_per_sec", expvar.Func(func() any {
+			start := vars.start.Load()
+			if start == 0 {
+				return 0.0
+			}
+			elapsed := time.Since(time.Unix(0, start)).Seconds()
+			if elapsed <= 0 {
+				return 0.0
+			}
+			return float64(vars.sims.Value()) / elapsed
+		}))
+	})
+	return vars
+}
+
+// SuiteStart records the throughput epoch on the first suite.
+func (v *Vars) SuiteStart(Suite) {
+	v.start.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// CellStart implements Reporter.
+func (v *Vars) CellStart(Cell) {}
+
+// CellDone advances the counters for executed cells.
+func (v *Vars) CellDone(r Record) {
+	if r.Resumed {
+		return
+	}
+	reps := r.Replications
+	if reps < 1 {
+		reps = 1
+	}
+	v.cells.Add(1)
+	v.sims.Add(int64(reps))
+	v.jobs.Add(int64(reps * r.Report.Submitted))
+}
+
+// SuiteDone implements Reporter.
+func (v *Vars) SuiteDone(Summary) {}

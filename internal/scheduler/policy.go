@@ -1,17 +1,3 @@
-// Package scheduler implements the seven resource management policies the
-// paper evaluates (Table V) and the simulation driver that runs a workload
-// through one of them:
-//
-//	FCFS-BF, SJF-BF, EDF-BF  EASY backfilling with generous admission
-//	                         control (space-shared);
-//	Libra                    deadline-proportional share with admission
-//	                         control at submission (time-shared);
-//	Libra+$                  Libra with the enhanced adaptive pricing
-//	                         function (commodity market model only);
-//	LibraRiskD               Libra that only places jobs on nodes with zero
-//	                         risk of deadline delay (bid-based model only);
-//	FirstReward              reward/opportunity-cost admission with slack
-//	                         threshold (bid-based model only).
 package scheduler
 
 import (
