@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz results examples clean verify
+.PHONY: all build vet test race race-hot cover bench fuzz results examples clean verify lint fmt-check
 
 all: build vet test
 
@@ -19,11 +19,26 @@ test:
 race:
 	$(GO) test -race ./...
 
-# CI gate: vet everything, then race-test the two packages with
-# worker-pool concurrency (the suite runner and its observer plumbing).
-verify:
-	$(GO) vet ./...
+# Fast race pass over the two packages with worker-pool concurrency
+# (the suite runner and its observer plumbing) — the inner loop of verify
+# when the full -race run is too slow for the edit cycle.
+race-hot:
 	$(GO) test -race ./internal/experiment ./internal/obs
+
+# Fail if any tracked Go file is not gofmt-clean. Fixtures under testdata
+# are real Go source and are held to the same standard.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# The determinism & correctness analyzer suite (see docs/architecture.md).
+lint:
+	$(GO) run ./cmd/repolint ./...
+
+# CI gate: formatting, vet, repolint, then the full test suite under the
+# race detector.
+verify: fmt-check vet lint
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,106 @@
+// Command repolint checks the repository's determinism and correctness
+// invariants with the stdlib-only analyzer suite in internal/lint. It walks
+// the requested packages (default ./...), prints one
+//
+//	file:line: rule: message
+//
+// line per finding, and exits nonzero on any hit, which makes it a CI gate
+// (make verify). Legitimate exceptions are suppressed in the source with
+// documented //lint:allow directives, never by configuration.
+//
+// Usage:
+//
+//	repolint [-rules] [pattern ...]
+//
+// where each pattern is a package directory, a subtree like ./internal/...,
+// or ./... for the whole module containing the working directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the linter from the given directory and returns the process
+// exit code: 0 clean, 1 findings, 2 usage or load failure.
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.Bool("rules", false, "print the rule catalog and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *rules {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	findings, err := lint.Run(root, patterns, lint.All())
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		f.Pos.Filename = relPath(dir, f.Pos.Filename)
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "repolint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the nearest directory holding go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// relPath shortens a finding path relative to the invocation directory when
+// that yields something shorter to click on.
+func relPath(dir, path string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return path
+	}
+	if rel, err := filepath.Rel(abs, path); err == nil && !filepath.IsAbs(rel) && rel != "" && !isDotDot(rel) {
+		return rel
+	}
+	return path
+}
+
+func isDotDot(rel string) bool {
+	return rel == ".." || len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator)
+}

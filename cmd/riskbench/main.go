@@ -25,6 +25,7 @@ import (
 	_ "net/http/pprof" // -pprof: registers /debug/pprof on the default mux
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -106,13 +107,14 @@ func main() {
 			}
 			cfg.Observer = observer
 			cfg.Resume = prior
-			start := time.Now()
+			start := time.Now() //lint:allow wallclock — suite wall-time accounting, not simulation time
 			res, err := experiment.Run(cfg)
 			if err != nil {
 				fatal(err)
 			}
+			elapsed := time.Since(start).Round(time.Millisecond) //lint:allow wallclock — suite wall-time accounting, not simulation time
 			fmt.Printf("== %s / %s: %d simulations in %v\n",
-				m, cfg.SetName(), res.Cells()*max(1, *reps), time.Since(start).Round(time.Millisecond))
+				m, cfg.SetName(), res.Cells()*max(1, *reps), elapsed)
 			refs, err := emit(res, m, cfg.SetName(), *analysis, *outDir, *ascii)
 			if err != nil {
 				fatal(err)
@@ -262,8 +264,13 @@ func writePanel(dir, title string, series []risk.Series, ascii bool) error {
 		return err
 	}
 	files["summary.txt"] = summary
-	for name, content := range files {
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(files[name]), 0o644); err != nil {
 			return err
 		}
 	}

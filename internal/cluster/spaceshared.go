@@ -195,7 +195,7 @@ func (s *SpaceShared) Start(j *workload.Job, done func(finished *workload.Job)) 
 // (then job ID) for deterministic iteration.
 func (s *SpaceShared) Running() []*SpaceJob {
 	out := make([]*SpaceJob, 0, len(s.running))
-	for _, sj := range s.running {
+	for _, sj := range s.running { //lint:allow maporder — collected jobs are sorted by (EstEnd, ID) immediately below
 		out = append(out, sj)
 	}
 	sort.Slice(out, func(i, k int) bool {

@@ -181,7 +181,7 @@ func (t *TimeShared) Load(i int) float64 { return t.nodes[i].booked }
 // time).
 func (t *TimeShared) NodeHasOverrun(i int) bool {
 	t.advance()
-	for j := range t.nodes[i].jobs {
+	for j := range t.nodes[i].jobs { //lint:allow maporder — existence check; the result is order-independent
 		if j.Overrun() {
 			return true
 		}
@@ -223,7 +223,7 @@ func (t *TimeShared) CommittedSeconds(i int, horizon float64) float64 {
 	// Sum in job-ID order: float addition is not associative, and map
 	// iteration order would otherwise make quoted prices depend on it.
 	jobs := make([]*TSJob, 0, len(t.nodes[i].jobs))
-	for tj := range t.nodes[i].jobs {
+	for tj := range t.nodes[i].jobs { //lint:allow maporder — collected jobs are sorted by ID immediately below
 		if !tj.lapsed {
 			jobs = append(jobs, tj)
 		}

@@ -440,3 +440,24 @@ func TestScenarioFilter(t *testing.T) {
 		t.Error("unknown scenario filter accepted")
 	}
 }
+
+// TestParamsValidateErrorOrderStable pins Validate's error message when
+// several parameters are invalid at once: always the first in the
+// documented bias, ratio, mean order — never a map-iteration-dependent
+// pick (the bug class repolint's maporder rule guards against).
+func TestParamsValidateErrorOrderStable(t *testing.T) {
+	bad := DefaultParams(0)
+	bad.PenaltyMean = -1
+	bad.BudgetRatio = 0
+	bad.DeadlineBias = 0
+	want := "experiment: non-positive deadline bias 0"
+	for i := 0; i < 100; i++ {
+		err := bad.Validate()
+		if err == nil {
+			t.Fatal("invalid params accepted")
+		}
+		if err.Error() != want {
+			t.Fatalf("iteration %d: error %q, want %q", i, err, want)
+		}
+	}
+}

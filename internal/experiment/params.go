@@ -62,13 +62,18 @@ func (p Params) Validate() error {
 	if p.InaccuracyPct < 0 || p.InaccuracyPct > 100 {
 		return fmt.Errorf("experiment: inaccuracy %v outside [0,100]", p.InaccuracyPct)
 	}
-	for name, v := range map[string]float64{
-		"deadline bias": p.DeadlineBias, "budget bias": p.BudgetBias, "penalty bias": p.PenaltyBias,
-		"deadline ratio": p.DeadlineRatio, "budget ratio": p.BudgetRatio, "penalty ratio": p.PenaltyRatio,
-		"deadline mean": p.DeadlineMean, "budget mean": p.BudgetMean, "penalty mean": p.PenaltyMean,
+	// Ordered, not a map: the first failing parameter decides the error
+	// message, which must be stable across runs.
+	for _, e := range []struct {
+		name string
+		v    float64
+	}{
+		{"deadline bias", p.DeadlineBias}, {"budget bias", p.BudgetBias}, {"penalty bias", p.PenaltyBias},
+		{"deadline ratio", p.DeadlineRatio}, {"budget ratio", p.BudgetRatio}, {"penalty ratio", p.PenaltyRatio},
+		{"deadline mean", p.DeadlineMean}, {"budget mean", p.BudgetMean}, {"penalty mean", p.PenaltyMean},
 	} {
-		if v <= 0 {
-			return fmt.Errorf("experiment: non-positive %s %v", name, v)
+		if e.v <= 0 {
+			return fmt.Errorf("experiment: non-positive %s %v", e.name, e.v)
 		}
 	}
 	return nil

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// packageOf resolves the package an expression like `time` in `time.Now`
+// refers to, returning its import path ("" when the expression is not a
+// package qualifier). Import renames are followed through the type
+// checker, so `clock "time"` does not evade a rule.
+func packageOf(pass *Pass, e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// pkgFunc returns the name of the package-level function of pkgPath that
+// the selector calls or references ("" when it is anything else: a method,
+// a type, a variable, or another package).
+func pkgFunc(pass *Pass, sel *ast.SelectorExpr, pkgPath string) string {
+	if packageOf(pass, sel.X) != pkgPath {
+		return ""
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return ""
+	}
+	return fn.Name()
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}
+
+// isFloat reports whether t is (or defaults to) a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression directives take the form
+//
+//	//lint:allow rule[,rule...] — reason
+//
+// ("--" is accepted in place of the em dash). A directive suppresses the
+// named rules on its own line and on the line directly below it, so it
+// works both as a trailing comment and as a standalone comment above the
+// offending line. The reason is mandatory: an exemption without a recorded
+// justification is reported under the "directive" rule, as is an unknown
+// or empty rule list.
+
+// allowSet maps file name → line → rule → allowed.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) allows(f Finding) bool {
+	return s[f.Pos.Filename][f.Pos.Line][f.Rule]
+}
+
+func (s allowSet) add(file string, line int, rule string) {
+	lines := s[file]
+	if lines == nil {
+		lines = map[int]map[string]bool{}
+		s[file] = lines
+	}
+	for _, ln := range []int{line, line + 1} {
+		if lines[ln] == nil {
+			lines[ln] = map[string]bool{}
+		}
+		lines[ln][rule] = true
+	}
+}
+
+// directives scans a package's comments for //lint:allow directives,
+// returning the suppression set and findings for malformed directives.
+func directives(pkg *Package) (allowSet, []Finding) {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	allows := allowSet{}
+	var bad []Finding
+	report := func(pos token.Position, msg string) {
+		bad = append(bad, Finding{Pos: pos, Rule: "directive", Msg: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rules, reason := splitDirective(text)
+				if len(rules) == 0 || reason == "" {
+					report(pos, `malformed directive; want "//lint:allow rule[,rule] — reason"`)
+					continue
+				}
+				for _, r := range rules {
+					if !known[r] {
+						report(pos, "directive names unknown rule "+r)
+						continue
+					}
+					allows.add(pos.Filename, pos.Line, r)
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// splitDirective parses the text after "//lint:allow" into the rule list
+// and the reason, split on the first "—" or "--".
+func splitDirective(text string) (rules []string, reason string) {
+	rulePart := text
+	for _, sep := range []string{"—", "--"} {
+		if head, tail, ok := strings.Cut(text, sep); ok {
+			rulePart, reason = head, strings.TrimSpace(tail)
+			break
+		}
+	}
+	for _, r := range strings.FieldsFunc(rulePart, func(c rune) bool { return c == ',' || c == ' ' || c == '\t' }) {
+		rules = append(rules, r)
+	}
+	return rules, reason
+}

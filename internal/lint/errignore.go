@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errignoreAnalyzer flags call statements that silently discard an error
+// result in the I/O-bearing packages (internal/obs, internal/experiment).
+// The journal and results files are the substrate of checkpoint/resume: a
+// swallowed write error there means a later -resume silently reconstructs
+// panels from a truncated journal. Deliberate discards — a hash.Hash Write
+// that cannot fail, best-effort progress output — carry a //lint:allow
+// errignore directive with the justification. `defer f.Close()` and `go
+// f()` are statement forms of their own and are not flagged.
+var errignoreAnalyzer = &Analyzer{
+	Name:  "errignore",
+	Doc:   "call statement discarding an error result in obs/experiment journal and report I/O",
+	Match: inPackages("internal/obs", "internal/experiment"),
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				es, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := es.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sig, ok := pass.Pkg.Info.TypeOf(call.Fun).(*types.Signature)
+				if !ok {
+					return true // builtin or conversion
+				}
+				res := sig.Results()
+				for i := 0; i < res.Len(); i++ {
+					if isErrorType(res.At(i).Type()) {
+						pass.Reportf(call.Pos(),
+							"%s returns an error that is discarded; handle it or annotate the discard with //lint:allow errignore", types.ExprString(call.Fun))
+						break
+					}
+				}
+				return true
+			})
+		}
+	},
+}

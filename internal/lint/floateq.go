@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// floateqAnalyzer flags == and != between floating-point operands in the
+// numeric packages (internal/metrics, internal/stats, internal/risk).
+// Objective normalization, σ estimation, and ranking all accumulate
+// rounding error, so exact comparison is almost always a latent bug there;
+// the rare intentional identity check (a sentinel, an exact-zero guard on a
+// value never computed) carries a //lint:allow floateq directive instead.
+// Comparisons where both operands are compile-time constants are exempt.
+var floateqAnalyzer = &Analyzer{
+	Name:  "floateq",
+	Doc:   "exact ==/!= on floating-point values in metrics/stats/risk; compare with a tolerance",
+	Match: inPackages("internal/metrics", "internal/stats", "internal/risk"),
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				xt, yt := pass.Pkg.Info.Types[be.X], pass.Pkg.Info.Types[be.Y]
+				if !isFloat(xt.Type) && !isFloat(yt.Type) {
+					return true
+				}
+				if xt.Value != nil && yt.Value != nil {
+					return true
+				}
+				pass.Reportf(be.OpPos,
+					"exact floating-point %s comparison; use a tolerance, or //lint:allow floateq for an intentional identity check", be.Op)
+				return true
+			})
+		}
+	},
+}

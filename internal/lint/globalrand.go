@@ -1,0 +1,86 @@
+package lint
+
+import "go/ast"
+
+// randSeeded are the math/rand (and v2) functions that construct an
+// explicitly seeded generator or wrap one; everything else at package level
+// draws from the shared global source and is banned.
+var randSeeded = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// globalrandAnalyzer enforces the repository's randomness contract: every
+// random draw flows through an explicit seeded *rand.Rand (stats.NewRand),
+// never the package-level math/rand convenience functions, and sources are
+// never seeded from the wall clock. Both break reproducibility: the global
+// source is shared across goroutines (draw order depends on scheduling) and
+// a time seed differs on every run.
+var globalrandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc:  "package-level math/rand functions or wall-clock-seeded sources; use an explicit seeded *rand.Rand",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				for _, path := range []string{"math/rand", "math/rand/v2"} {
+					name := pkgFunc(pass, sel, path)
+					if name == "" {
+						continue
+					}
+					if !randSeeded[name] {
+						pass.Reportf(sel.Pos(),
+							"%s.%s draws from the shared global source; thread an explicit seeded *rand.Rand (stats.NewRand) instead", path, name)
+					}
+				}
+				return true
+			})
+		}
+		// Seeded constructors must not be seeded from the wall clock:
+		// rand.New(rand.NewSource(time.Now().UnixNano())) is the classic
+		// pattern that defeats reproducibility.
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				// Only the source constructors, not the wrapping rand.New:
+				// otherwise rand.New(rand.NewSource(time.Now())) reports
+				// twice for one seeding site.
+				isCtor := false
+				for _, path := range []string{"math/rand", "math/rand/v2"} {
+					switch pkgFunc(pass, sel, path) {
+					case "NewSource", "NewPCG", "NewChaCha8":
+						isCtor = true
+					}
+				}
+				if !isCtor {
+					return true
+				}
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(m ast.Node) bool {
+						s, ok := m.(*ast.SelectorExpr)
+						if ok && pkgFunc(pass, s, "time") == "Now" {
+							pass.Reportf(call.Pos(),
+								"rand source seeded from time.Now is different on every run; derive the seed from configuration")
+							return false
+						}
+						return true
+					})
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,129 @@
+// Package lint is a stdlib-only static-analysis framework encoding this
+// repository's determinism and correctness invariants, driven by
+// cmd/repolint. Each Analyzer is a small pass over parsed and type-checked
+// packages; findings can be suppressed line by line with a documented
+//
+//	//lint:allow <rule> — <reason>
+//
+// directive (see directive.go). The rule catalog lives in All; the
+// rationale — why bit-reproducible runs need machine-checked invariants —
+// in docs/architecture.md ("Determinism invariants & lint rules").
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding in the canonical "file:line: rule: message"
+// form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Analyzer is one self-contained pass over a package.
+type Analyzer struct {
+	// Name is the rule name used in reports and allow directives.
+	Name string
+	// Doc is a one-line description for the rule catalog.
+	Doc string
+	// Match restricts the analyzer to packages whose import path it
+	// accepts; nil applies the analyzer to every package.
+	Match func(pkgPath string) bool
+	// Run inspects one package, reporting through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Pkg      *Package
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos: p.Pkg.Fset.Position(pos),
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full rule catalog in report order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		errignoreAnalyzer,
+		floateqAnalyzer,
+		globalrandAnalyzer,
+		maporderAnalyzer,
+		wallclockAnalyzer,
+	}
+}
+
+// inPackages builds a Match function accepting packages whose import path
+// equals or ends with one of the given module-relative suffixes.
+func inPackages(suffixes ...string) func(string) bool {
+	return func(path string) bool {
+		for _, s := range suffixes {
+			if path == s || strings.HasSuffix(path, "/"+s) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Run loads the patterns from the module rooted at root and applies the
+// analyzers, returning suppression-filtered findings sorted by position.
+// Malformed //lint:allow directives are themselves reported under the
+// "directive" rule, so a typo cannot silently disable a suppression.
+func Run(root string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allows, bad := directives(pkg)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Pkg: pkg}
+			a.Run(pass)
+			for _, f := range pass.findings {
+				f.Rule = a.Name
+				if !allows.allows(f) {
+					findings = append(findings, f)
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return findings, nil
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden corpus under testdata/src is a self-contained module: one
+// positive and one suppressed fixture per analyzer, with expected findings
+// marked in place as
+//
+//	// want <rule> "<message substring>"
+//
+// (several markers may share a line). TestGoldenFixtures runs the full
+// pipeline — loading, scoping, suppression — over the corpus and requires
+// an exact match between markers and findings in both directions.
+
+var wantMarker = regexp.MustCompile(`\bwant ([a-z]+) "([^"]*)"`)
+
+type marker struct {
+	file string
+	line int
+	rule string
+	sub  string
+	hit  bool
+}
+
+func readWantMarkers(t *testing.T, root string) []*marker {
+	t.Helper()
+	var markers []*marker
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantMarker.FindAllStringSubmatch(line, -1) {
+				markers = append(markers, &marker{file: path, line: i + 1, rule: m[1], sub: m[2]})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return markers
+}
+
+func TestGoldenFixtures(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	findings, err := Run(root, []string{"./..."}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	markers := readWantMarkers(t, root)
+
+	for _, f := range findings {
+		matched := false
+		for _, m := range markers {
+			if !m.hit && m.file == f.Pos.Filename && m.line == f.Pos.Line &&
+				m.rule == f.Rule && strings.Contains(f.Msg, m.sub) {
+				m.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, m := range markers {
+		if !m.hit {
+			t.Errorf("expected finding not reported: %s:%d: %s (message containing %q)",
+				m.file, m.line, m.rule, m.sub)
+		}
+	}
+
+	// Every analyzer must have a live positive case in the corpus — this is
+	// the golden-file gate behind "repolint exits nonzero on each
+	// analyzer's positive case".
+	seen := map[string]bool{}
+	for _, f := range findings {
+		seen[f.Rule] = true
+	}
+	for _, a := range All() {
+		if !seen[a.Name] {
+			t.Errorf("analyzer %s has no positive golden case", a.Name)
+		}
+	}
+	if !seen["directive"] {
+		t.Error("directive hygiene has no positive golden case")
+	}
+}
+
+// TestRepoIsClean runs the whole suite over the real tree: the repository
+// must stay free of findings (legitimate exceptions carry documented
+// //lint:allow directives).
+func TestRepoIsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(root, []string{"./..."}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+func TestSplitDirective(t *testing.T) {
+	cases := []struct {
+		in     string
+		rules  []string
+		reason string
+	}{
+		{" wallclock — progress ETA", []string{"wallclock"}, "progress ETA"},
+		{" wallclock -- progress ETA", []string{"wallclock"}, "progress ETA"},
+		{" floateq,maporder — two rules", []string{"floateq", "maporder"}, "two rules"},
+		{" wallclock", []string{"wallclock"}, ""},
+		{" — reason only", nil, "reason only"},
+	}
+	for _, c := range cases {
+		rules, reason := splitDirective(c.in)
+		if fmt.Sprint(rules) != fmt.Sprint(c.rules) || reason != c.reason {
+			t.Errorf("splitDirective(%q) = %v, %q; want %v, %q", c.in, rules, reason, c.rules, c.reason)
+		}
+	}
+}
+
+func TestDirectiveCoversOwnAndNextLine(t *testing.T) {
+	var s = allowSet{}
+	s.add("f.go", 10, "wallclock")
+	for line, want := range map[int]bool{9: false, 10: true, 11: true, 12: false} {
+		f := Finding{Rule: "wallclock"}
+		f.Pos.Filename = "f.go"
+		f.Pos.Line = line
+		if got := s.allows(f); got != want {
+			t.Errorf("line %d allowed = %v, want %v", line, got, want)
+		}
+	}
+	other := Finding{Rule: "floateq"}
+	other.Pos.Filename = "f.go"
+	other.Pos.Line = 10
+	if s.allows(other) {
+		t.Error("directive for wallclock suppressed floateq")
+	}
+}

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// maporderWriters are method / function names that emit output in call
+// order; invoking one per map iteration bakes the nondeterministic order
+// into the output.
+var maporderWriters = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "WriteFile": true, "Encode": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// maporderAnalyzer flags `range` over a map whose body is order-sensitive:
+// it appends to a slice, writes output, or exits the loop early. Go
+// randomizes map iteration order per run, so any such loop produces
+// run-dependent results — the exact bug class that breaks the byte-identical
+// -resume guarantee. The one exempt shape is the canonical fix itself, a
+// bare key-collection loop `keys = append(keys, k)` (order-insensitive as a
+// set; sort before use). Order-insensitive bodies — sums, counts, in-place
+// mutation — are not flagged.
+var maporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "range over a map with an order-sensitive body (append / write / early exit); iterate sorted keys",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.Pkg.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if isKeyCollection(rs) {
+					return true
+				}
+				if reason := orderSensitive(pass, rs.Body); reason != "" {
+					pass.Reportf(rs.Pos(),
+						"range over map %s but map iteration order is random per run; iterate a sorted key slice instead", reason)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// isKeyCollection matches the two exempt single-statement bodies whose
+// append is provably order-insensitive:
+//
+//	keys = append(keys, k)      // collecting the key set; sort before use
+//	m[k] = append(m[k], v)      // per-key accumulation: each key is
+//	                            // visited exactly once per loop pass
+func isKeyCollection(rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	switch lhs := as.Lhs[0].(type) {
+	case *ast.Ident:
+		// keys = append(keys, k), with no value variable in play.
+		if v, ok := rs.Value.(*ast.Ident); rs.Value != nil && (!ok || v.Name != "_") {
+			return false
+		}
+		dst, ok := call.Args[0].(*ast.Ident)
+		arg, ok2 := call.Args[1].(*ast.Ident)
+		return ok && ok2 && dst.Name == lhs.Name && arg.Name == key.Name
+	case *ast.IndexExpr:
+		// m[k] = append(m[k], ...): both sides must index the same map
+		// with the range key.
+		dst, ok := call.Args[0].(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		return indexedByKey(lhs, key.Name) && indexedByKey(dst, key.Name) &&
+			sameIdent(lhs.X, dst.X)
+	}
+	return false
+}
+
+// indexedByKey reports whether e is `<ident>[key]`.
+func indexedByKey(e *ast.IndexExpr, key string) bool {
+	idx, ok := e.Index.(*ast.Ident)
+	return ok && idx.Name == key
+}
+
+func sameIdent(a, b ast.Expr) bool {
+	ai, ok1 := a.(*ast.Ident)
+	bi, ok2 := b.(*ast.Ident)
+	return ok1 && ok2 && ai.Name == bi.Name
+}
+
+// orderSensitive returns a description of the first order-sensitive
+// operation in a map-range body, or "". Three independent scans: appends
+// and writes anywhere in the body, returns anywhere outside nested function
+// literals (a return in a closure does not exit the loop), and unlabeled
+// breaks that still bind to the range loop.
+func orderSensitive(pass *Pass, body *ast.BlockStmt) string {
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "append" {
+			if _, isBuiltin := pass.Pkg.Info.Uses[fn].(*types.Builtin); isBuiltin {
+				// The key-collection shape was exempted before this scan;
+				// any other append bakes in the iteration order.
+				reason = "appends to a slice"
+				return false
+			}
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && maporderWriters[sel.Sel.Name] {
+			reason = "writes output via " + sel.Sel.Name
+			return false
+		}
+		return true
+	})
+	if reason != "" {
+		return reason
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			reason = "returns early"
+			return false
+		}
+		return true
+	})
+	if reason != "" {
+		return reason
+	}
+	if breaksLoop(body.List) {
+		return "breaks early"
+	}
+	return ""
+}
+
+// breaksLoop reports whether the statement list contains an unlabeled break
+// binding to the enclosing range loop, i.e. not recursing into constructs
+// that capture break (nested loops, switches, selects) or function
+// literals.
+func breaksLoop(list []ast.Stmt) bool {
+	for _, st := range list {
+		switch s := st.(type) {
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK && s.Label == nil {
+				return true
+			}
+		case *ast.BlockStmt:
+			if breaksLoop(s.List) {
+				return true
+			}
+		case *ast.IfStmt:
+			if breaksLoop(s.Body.List) {
+				return true
+			}
+			if s.Else != nil && breaksLoop([]ast.Stmt{s.Else}) {
+				return true
+			}
+		case *ast.LabeledStmt:
+			if breaksLoop([]ast.Stmt{s.Stmt}) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+// Package directive is the golden case for directive hygiene: a
+// suppression without a reason or naming an unknown rule is itself a
+// finding, so a typo cannot silently disable a rule.
+package directive
+
+// Placeholder keeps the package non-empty.
+func Placeholder() {}
+
+//lint:allow wallclock (missing the required reason) // want directive "malformed"
+
+//lint:allow nosuchrule — the rule name is misspelled // want directive "unknown rule"

@@ -1,0 +1,35 @@
+// Package globalrand is the positive golden case for the globalrand rule:
+// package-level draws and wall-clock seeding must be reported; explicit
+// seeded sources must not.
+package globalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Draw uses the shared global source.
+func Draw() float64 {
+	return rand.Float64() // want globalrand "global source"
+}
+
+// Order uses the shared global source for a permutation.
+func Order(n int) []int {
+	return rand.Perm(n) // want globalrand "global source"
+}
+
+// Reseed mutates the shared global source.
+func Reseed() {
+	rand.Seed(42) // want globalrand "global source"
+}
+
+// TimeSeeded constructs an explicit source but seeds it from the wall
+// clock, which differs on every run.
+func TimeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want globalrand "time.Now"  want wallclock "time.Now"
+}
+
+// Seeded is the sanctioned shape: an explicit, configuration-derived seed.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,8 @@
+package globalrand
+
+import "math/rand"
+
+// Jitter draws from the global source under a documented exemption.
+func Jitter() float64 {
+	return rand.Float64() //lint:allow globalrand — fixture: demo-only jitter, determinism not required
+}

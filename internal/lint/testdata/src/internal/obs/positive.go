@@ -1,0 +1,26 @@
+// Package obs is the positive golden case for the errignore rule, placed
+// under internal/obs so the analyzer's package scope applies.
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// Drop discards two error results.
+func Drop(f *os.File) {
+	f.Sync()             // want errignore "f.Sync"
+	fmt.Fprintln(f, "x") // want errignore "fmt.Fprintln"
+}
+
+// Kept handles or legitimately defers everything.
+func Kept(f *os.File) error {
+	defer f.Close() // defer is a statement form of its own: not flagged
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	note(f.Name()) // no error in the results: not flagged
+	return nil
+}
+
+func note(string) {}

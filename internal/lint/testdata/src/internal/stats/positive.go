@@ -1,0 +1,37 @@
+// Package stats is the positive golden case for the floateq rule, placed
+// under internal/stats so the analyzer's package scope applies.
+package stats
+
+// Same compares floats exactly.
+func Same(a, b float64) bool {
+	return a == b // want floateq "=="
+}
+
+// Differs compares floats exactly.
+func Differs(a, b float64) bool {
+	return a != b // want floateq "!="
+}
+
+// Mixed compares a float against an untyped constant.
+func Mixed(a float64) bool {
+	return a == 0.25 // want floateq "=="
+}
+
+const eps = 1e-9
+
+// Close is the sanctioned tolerance comparison.
+func Close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+// ConstCmp folds at compile time and is exempt.
+const ConstCmp = 1.0 == 2.0
+
+// Ints are not floats.
+func SameInt(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,6 @@
+package stats
+
+// ExactZero is an intentional identity check, exempted with a reason.
+func ExactZero(x float64) bool {
+	return x == 0 //lint:allow floateq — fixture: exact-zero sentinel, never the result of arithmetic
+}

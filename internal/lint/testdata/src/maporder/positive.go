@@ -1,0 +1,100 @@
+// Package maporder is the positive golden case for the maporder rule:
+// order-sensitive map-range bodies must be reported, order-insensitive
+// ones (sums, key collection, per-key accumulation) must not.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Render bakes the random iteration order into the returned slice.
+func Render(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want maporder "appends to a slice"
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}
+
+// Any returns a run-dependent element.
+func Any(m map[string]int) string {
+	for k := range m { // want maporder "returns early"
+		return k
+	}
+	return ""
+}
+
+// Dump prints in random order.
+func Dump(m map[string]int) {
+	for k := range m { // want maporder "writes output via Println"
+		fmt.Println(k)
+	}
+}
+
+// Pick breaks out holding a run-dependent element.
+func Pick(m map[string]int) (last string) {
+	for k := range m { // want maporder "breaks early"
+		last = k
+		break
+	}
+	return last
+}
+
+// Sorted is the canonical fix: collect keys, sort, then range the slice.
+func Sorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return out
+}
+
+// Regroup accumulates per key: each key is visited once, so the append
+// order within a bucket does not depend on map iteration.
+func Regroup(m map[string]int) map[string][]int {
+	buckets := make(map[string][]int, len(m))
+	for k, v := range m {
+		buckets[k] = append(buckets[k], v)
+	}
+	return buckets
+}
+
+// Invert is NOT the exempt shape: several keys can share a value, so the
+// bucket order is iteration-dependent.
+func Invert(m map[string]int) map[int][]string {
+	inv := make(map[int][]string)
+	for k, v := range m { // want maporder "appends to a slice"
+		inv[v] = append(inv[v], k)
+	}
+	return inv
+}
+
+// Sum is commutative and not flagged.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// NestedBreak binds to the inner loop, not the map range, and the body is
+// otherwise order-insensitive.
+func NestedBreak(m map[string][]int) int {
+	hits := 0
+	for _, vs := range m {
+		for _, v := range vs {
+			if v == 0 {
+				hits++
+				break
+			}
+		}
+	}
+	return hits
+}

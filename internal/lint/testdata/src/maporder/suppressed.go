@@ -1,0 +1,9 @@
+package maporder
+
+// First takes an arbitrary element under a documented exemption.
+func First(m map[string]int) string {
+	for k := range m { //lint:allow maporder — fixture: any element will do, order-independence argued in place
+		return k
+	}
+	return ""
+}

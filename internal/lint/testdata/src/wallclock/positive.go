@@ -1,0 +1,27 @@
+// Package wallclock is the positive golden case for the wallclock rule:
+// every wall-clock read below must be reported, including through an
+// import rename.
+package wallclock
+
+import (
+	"time"
+	clock "time"
+)
+
+// Elapsed measures with the wall clock instead of simulation time.
+func Elapsed() time.Duration {
+	start := time.Now()          // want wallclock "time.Now"
+	time.Sleep(time.Millisecond) // want wallclock "time.Sleep"
+	return time.Since(start)     // want wallclock "time.Since"
+}
+
+// Renamed hides the import behind another name; the type checker sees
+// through it.
+func Renamed() clock.Time {
+	return clock.Now() // want wallclock "time.Now"
+}
+
+// Pure conversions and constructors are deterministic and not flagged.
+func Pure() time.Time {
+	return time.Unix(0, 0).Add(3 * time.Second)
+}

@@ -1,0 +1,45 @@
+package lint
+
+import "go/ast"
+
+// wallclockFuncs are the package time functions that read or depend on the
+// wall clock. Pure constructors and conversions (time.Duration, time.Unix,
+// time.Date, ...) are not listed: they are deterministic given their
+// arguments.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// wallclockAnalyzer flags wall-clock reads. Simulation and metrics code
+// (internal/sim, cluster, scheduler, economy, qos, workload, metrics, risk,
+// stats) must take time from the event kernel (sim.Engine.Now) so that runs
+// are bit-reproducible; elsewhere — progress reporting, suite wall-time
+// accounting — real time is legitimate but must be annotated so every
+// wall-clock dependency in the tree is documented.
+var wallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "time.Now/Since/... outside the event kernel; sim time must come from sim.Engine.Now",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if name := pkgFunc(pass, sel, "time"); wallclockFuncs[name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock; simulation time must come from the event kernel (sim.Engine.Now) — real-time accounting needs a //lint:allow wallclock directive", name)
+				}
+				return true
+			})
+		}
+	},
+}

@@ -37,7 +37,7 @@ func OpenJournal(path string) (*Journal, error) {
 		return nil, err
 	}
 	if err := terminateTornTail(f); err != nil {
-		f.Close()
+		f.Close() //lint:allow errignore — already failing; a Close error would mask the root cause
 		return nil, err
 	}
 	return &Journal{f: f}, nil
@@ -97,7 +97,7 @@ func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if err := j.f.Sync(); err != nil {
-		j.f.Close()
+		j.f.Close() //lint:allow errignore — already failing; a Close error would mask the Sync error
 		return err
 	}
 	return j.f.Close()
@@ -114,14 +114,17 @@ func (j *Journal) CellDone(r Record) {
 	if r.Resumed {
 		return
 	}
-	j.Append(r)
+	j.Append(r) //lint:allow errignore — Append records its first error for Err(); Reporter cannot propagate it
 }
 
-// SuiteDone syncs the journal so a completed suite is durable.
+// SuiteDone syncs the journal so a completed suite is durable. A sync
+// failure is recorded like an append failure, surfacing through Err.
 func (j *Journal) SuiteDone(Summary) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.f.Sync()
+	if err := j.f.Sync(); err != nil && j.err == nil {
+		j.err = err
+	}
 }
 
 // LoadJournal reads a journal back as a key → Record map for

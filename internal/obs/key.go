@@ -12,8 +12,8 @@ import (
 func Key(parts ...string) string {
 	h := fnv.New64a()
 	for _, p := range parts {
-		h.Write([]byte(p))
-		h.Write([]byte{0x1f})
+		h.Write([]byte(p))    //lint:allow errignore — hash.Hash Write never returns an error
+		h.Write([]byte{0x1f}) //lint:allow errignore — hash.Hash Write never returns an error
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }

@@ -135,7 +135,7 @@ func NewTerminal(w io.Writer, interval time.Duration) *Terminal {
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
-	return &Terminal{w: w, interval: interval, now: time.Now}
+	return &Terminal{w: w, interval: interval, now: time.Now} //lint:allow wallclock — progress ETA is real time by design (test hook overrides)
 }
 
 // SuiteStart resets the counters and starts the periodic printer.
@@ -149,7 +149,7 @@ func (t *Terminal) SuiteStart(s Suite) {
 	stop := t.stop
 	t.mu.Unlock()
 	go func() {
-		tick := time.NewTicker(t.interval)
+		tick := time.NewTicker(t.interval) //lint:allow wallclock — periodic progress printing runs on real time
 		defer tick.Stop()
 		for {
 			select {
@@ -198,13 +198,14 @@ func (t *Terminal) print(final bool) {
 	if remaining := t.suite.Cells - t.done; remaining <= 0 {
 		eta = "0s"
 	} else if rate > 0 {
-		eta = (time.Duration(float64(remaining)/rate*float64(time.Second))).Round(time.Second).String()
+		eta = (time.Duration(float64(remaining) / rate * float64(time.Second))).Round(time.Second).String()
 	}
 	status := "ETA " + eta
 	if final {
 		status = fmt.Sprintf("done in %v (%d resumed)",
 			time.Duration(elapsed*float64(time.Second)).Round(time.Millisecond), t.suite.Resumed)
 	}
+	//lint:allow errignore — best-effort progress output; a broken stderr must not abort the suite
 	fmt.Fprintf(t.w, "%s/%s: %d/%d cells, %.1f cells/s, %s\n",
 		t.suite.Model, t.suite.Set, t.done, t.suite.Cells, rate, status)
 }

@@ -92,7 +92,13 @@ func (c *Config) Validate() error {
 	if c.InaccuracyPct < 0 || c.InaccuracyPct > 100 {
 		return fmt.Errorf("qos: inaccuracy %v%% outside [0,100]", c.InaccuracyPct)
 	}
-	for name, p := range map[string]Param{"deadline": c.Deadline, "budget": c.Budget, "penalty": c.Penalty} {
+	// Ordered, not a map: the first failing parameter decides the error
+	// message, which must be stable across runs.
+	for _, e := range []struct {
+		name string
+		p    Param
+	}{{"deadline", c.Deadline}, {"budget", c.Budget}, {"penalty", c.Penalty}} {
+		name, p := e.name, e.p
 		if p.LowMean <= 0 {
 			return fmt.Errorf("qos: %s low-value mean %v <= 0", name, p.LowMean)
 		}

@@ -255,3 +255,25 @@ func TestBudgetScalesWithMean(t *testing.T) {
 		t.Errorf("budget mean ratio = %v, want ~2", r)
 	}
 }
+
+// TestValidateErrorOrderStable pins the determinism contract on Validate:
+// when several parameters are invalid at once, the reported error is the
+// first in the documented deadline, budget, penalty order — never a
+// map-iteration-dependent pick (the bug class repolint's maporder rule
+// guards against).
+func TestValidateErrorOrderStable(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Deadline.LowMean = 0
+	cfg.Budget.LowMean = 0
+	cfg.Penalty.LowMean = 0
+	want := "qos: deadline low-value mean 0 <= 0"
+	for i := 0; i < 100; i++ {
+		err := cfg.Validate()
+		if err == nil {
+			t.Fatal("invalid config accepted")
+		}
+		if err.Error() != want {
+			t.Fatalf("iteration %d: error %q, want %q", i, err, want)
+		}
+	}
+}

@@ -48,10 +48,18 @@ func EqualWeights(objs []Objective) Weights {
 	return w
 }
 
-// Validate checks the weight constraints of Eqs. 7–8.
+// Validate checks the weight constraints of Eqs. 7–8. Objectives are
+// checked in ascending order so the reported error — and the float
+// summation order — are stable across runs.
 func (w Weights) Validate() error {
+	objs := make([]Objective, 0, len(w))
+	for o := range w {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
 	sum := 0.0
-	for o, v := range w {
+	for _, o := range objs {
+		v := w[o]
 		if v < 0 || v > 1 {
 			return fmt.Errorf("risk: weight of %v is %v, outside [0,1]", o, v)
 		}

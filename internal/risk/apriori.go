@@ -51,7 +51,7 @@ func Project(s Series) (Projection, error) {
 // RiskBelow estimates P(performance < target) for a future scenario under
 // the normal approximation. With zero spread it is a step function.
 func (p Projection) RiskBelow(target float64) float64 {
-	if p.Spread == 0 {
+	if p.Spread == 0 { //lint:allow floateq — exact-zero spread is the documented step-function case
 		if p.Mean < target {
 			return 1
 		}
@@ -78,9 +78,9 @@ func SafestPolicy(projections []Projection, target float64) (Projection, error) 
 		switch {
 		case rp < rb:
 			best = p
-		case rp == rb && p.Mean > best.Mean:
+		case rp == rb && p.Mean > best.Mean: //lint:allow floateq — identity tie-break between candidates, not an approximate test
 			best = p
-		case rp == rb && p.Mean == best.Mean && p.Policy < best.Policy:
+		case rp == rb && p.Mean == best.Mean && p.Policy < best.Policy: //lint:allow floateq — identity tie-break between candidates, not an approximate test
 			best = p
 		}
 	}

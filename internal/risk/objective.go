@@ -98,7 +98,7 @@ func NormalizeAcross(o Objective, raw map[string]float64) map[string]float64 {
 		}
 	}
 	for k, v := range raw {
-		if max == 0 {
+		if max == 0 { //lint:allow floateq — exact-zero guard: max of non-negative raws is 0 iff all are 0
 			out[k] = 1
 			continue
 		}

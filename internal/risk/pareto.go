@@ -50,10 +50,10 @@ func ParetoFront(series []Series) ([]Ranked, error) {
 	}
 	sort.Slice(front, func(i, j int) bool {
 		a, b := front[i], front[j]
-		if a.MaxPerformance != b.MaxPerformance {
+		if a.MaxPerformance != b.MaxPerformance { //lint:allow floateq — identity tie-break in a sort comparator
 			return a.MaxPerformance > b.MaxPerformance
 		}
-		if a.MinVolatility != b.MinVolatility {
+		if a.MinVolatility != b.MinVolatility { //lint:allow floateq — identity tie-break in a sort comparator
 			return a.MinVolatility < b.MinVolatility
 		}
 		return a.Series.Policy < b.Series.Policy

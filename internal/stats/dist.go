@@ -78,7 +78,7 @@ func WeightedIndex(rng *rand.Rand, weights []float64) int {
 		}
 		total += w
 	}
-	if total == 0 {
+	if total == 0 { //lint:allow floateq — exact-zero guard: a sum of non-negative weights is 0 iff all are 0
 		panic("stats: all weights zero")
 	}
 	r := rng.Float64() * total

@@ -75,7 +75,7 @@ func LinearFit(x, y []float64) (slope, intercept float64, ok bool) {
 		sxx += dx * dx
 		sxy += dx * (y[i] - my)
 	}
-	if sxx == 0 {
+	if sxx == 0 { //lint:allow floateq — exact-zero guard: sum of squares is 0 iff every x equals the mean
 		return 0, 0, false
 	}
 	slope = sxy / sxx
