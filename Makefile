@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot cover bench fuzz results examples clean verify lint fmt-check
+.PHONY: all build vet test race race-hot cover cover-check bench fuzz results examples clean verify lint fmt-check
 
 all: build vet test
 
@@ -35,13 +35,24 @@ fmt-check:
 lint:
 	$(GO) run ./cmd/repolint ./...
 
-# CI gate: formatting, vet, repolint, then the full test suite under the
-# race detector.
+# CI gate: formatting, vet, repolint, the full test suite under the race
+# detector, and a shuffled pass to catch inter-test order dependence.
 verify: fmt-check vet lint
 	$(GO) test -race ./...
+	$(GO) test -shuffle=on ./...
 
 cover:
 	$(GO) test -cover ./...
+
+# Coverage floors: the fault injector is new, heavily-relied-on code and
+# must stay >= 90%; the cluster models must not regress below their
+# pre-fault-injection baseline.
+cover-check:
+	@$(GO) test -cover ./internal/faults ./internal/cluster | awk ' \
+		{ print } \
+		$$2 ~ /internal\/faults$$/  && $$5+0 < 90 { print "FAIL: internal/faults coverage " $$5 " below 90% floor"; bad=1 } \
+		$$2 ~ /internal\/cluster$$/ && $$5+0 < 95 { print "FAIL: internal/cluster coverage " $$5 " below 95% floor"; bad=1 } \
+		END { exit bad }'
 
 # One benchmark iteration per table/figure/ablation: fast sanity pass.
 bench:

@@ -21,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof" // -pprof: registers /debug/pprof on the default mux
 	"os"
@@ -31,65 +32,103 @@ import (
 
 	"repro/internal/economy"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/risk"
 )
 
+// options carries every riskbench flag so the whole pipeline is callable
+// (and golden-testable) in-process.
+type options struct {
+	model     string
+	set       string
+	analysis  string
+	jobs      int
+	nodes     int
+	workers   int
+	reps      int
+	scenario  string
+	policies  string
+	faults    string
+	faultSeed int64
+	outDir    string
+	ascii     bool
+	resume    bool
+	progress  time.Duration
+	pprofAddr string
+	stdout    io.Writer
+	stderr    io.Writer
+}
+
 func main() {
-	var (
-		modelFlag = flag.String("model", "both", "commodity, bid, or both")
-		setFlag   = flag.String("set", "both", "A, B, or both")
-		analysis  = flag.String("analysis", "all", "separate, integrated3, integrated4, or all")
-		jobs      = flag.Int("jobs", 5000, "trace length")
-		nodes     = flag.Int("nodes", 128, "cluster size")
-		workers   = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
-		reps      = flag.Int("reps", 1, "replications per cell (independent seeds, averaged)")
-		scenario  = flag.String("scenario", "", "restrict to one Table VI scenario by name")
-		outDir    = flag.String("out", "results", "output directory")
-		ascii     = flag.Bool("ascii", false, "also print ASCII plots to stdout")
-		resume    = flag.Bool("resume", false, "skip cells already recorded in <out>/journal.jsonl by a prior run")
-		progress  = flag.Duration("progress", 2*time.Second, "progress print interval (0 disables)")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
-	)
+	var o options
+	flag.StringVar(&o.model, "model", "both", "commodity, bid, or both")
+	flag.StringVar(&o.set, "set", "both", "A, B, or both")
+	flag.StringVar(&o.analysis, "analysis", "all", "separate, integrated3, integrated4, or all")
+	flag.IntVar(&o.jobs, "jobs", 5000, "trace length")
+	flag.IntVar(&o.nodes, "nodes", 128, "cluster size")
+	flag.IntVar(&o.workers, "workers", 0, "simulation workers (0 = GOMAXPROCS)")
+	flag.IntVar(&o.reps, "reps", 1, "replications per cell (independent seeds, averaged)")
+	flag.StringVar(&o.scenario, "scenario", "", "restrict to one Table VI scenario by name")
+	flag.StringVar(&o.policies, "policy", "", "restrict to a comma-separated list of policies")
+	flag.StringVar(&o.faults, "faults", "none", "failure intensity axis: none, low, or high")
+	flag.Int64Var(&o.faultSeed, "faultseed", 1, "base seed for the failure process")
+	flag.StringVar(&o.outDir, "out", "results", "output directory")
+	flag.BoolVar(&o.ascii, "ascii", false, "also print ASCII plots to stdout")
+	flag.BoolVar(&o.resume, "resume", false, "skip cells already recorded in <out>/journal.jsonl by a prior run")
+	flag.DurationVar(&o.progress, "progress", 2*time.Second, "progress print interval (0 disables)")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
-
-	models, err := parseModels(*modelFlag)
-	if err != nil {
+	o.stdout = os.Stdout
+	o.stderr = os.Stderr
+	if err := run(o); err != nil {
 		fatal(err)
 	}
-	sets, err := parseSets(*setFlag)
+}
+
+// run executes the full riskbench pipeline for one flag set.
+func run(o options) error {
+	models, err := parseModels(o.model)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	sets, err := parseSets(o.set)
+	if err != nil {
+		return err
+	}
+	intensity, err := faults.ParseIntensity(o.faults)
+	if err != nil {
+		return err
 	}
 
-	if *pprofAddr != "" {
+	if o.pprofAddr != "" {
 		go func() {
-			fmt.Fprintln(os.Stderr, "riskbench: pprof server:", http.ListenAndServe(*pprofAddr, nil))
+			fmt.Fprintln(o.stderr, "riskbench: pprof server:", http.ListenAndServe(o.pprofAddr, nil))
 		}()
 	}
 
-	journalPath := filepath.Join(*outDir, "journal.jsonl")
+	journalPath := filepath.Join(o.outDir, "journal.jsonl")
 	var prior map[string]obs.Record
-	if *resume {
+	if o.resume {
 		prior, err = obs.LoadJournal(journalPath)
 		if os.IsNotExist(err) {
-			fmt.Fprintf(os.Stderr, "riskbench: no journal at %s; running everything\n", journalPath)
+			fmt.Fprintf(o.stderr, "riskbench: no journal at %s; running everything\n", journalPath)
 		} else if err != nil {
-			fatal(err)
+			return err
 		} else {
-			fmt.Fprintf(os.Stderr, "riskbench: resuming from %d journaled cells\n", len(prior))
+			fmt.Fprintf(o.stderr, "riskbench: resuming from %d journaled cells\n", len(prior))
 		}
 	}
 	journal, err := obs.OpenJournal(journalPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	reporters := []obs.Reporter{journal}
-	if *progress > 0 {
-		reporters = append(reporters, obs.NewTerminal(os.Stderr, *progress))
+	if o.progress > 0 {
+		reporters = append(reporters, obs.NewTerminal(o.stderr, o.progress))
 	}
-	if *pprofAddr != "" {
+	if o.pprofAddr != "" {
 		reporters = append(reporters, obs.PublishVars())
 	}
 	observer := obs.Multi(reporters...)
@@ -98,43 +137,51 @@ func main() {
 	for _, m := range models {
 		for _, setB := range sets {
 			cfg := experiment.DefaultSuiteConfig(m, setB)
-			cfg.Jobs = *jobs
-			cfg.Nodes = *nodes
-			cfg.Workers = *workers
-			cfg.Replications = *reps
-			if *scenario != "" {
-				cfg.ScenarioFilter = []string{*scenario}
+			cfg.Jobs = o.jobs
+			cfg.Nodes = o.nodes
+			cfg.Workers = o.workers
+			cfg.Replications = o.reps
+			if o.scenario != "" {
+				cfg.ScenarioFilter = []string{o.scenario}
 			}
+			if o.policies != "" {
+				for _, name := range strings.Split(o.policies, ",") {
+					cfg.PolicyFilter = append(cfg.PolicyFilter, strings.TrimSpace(name))
+				}
+			}
+			cfg.FaultIntensity = intensity
+			cfg.FaultSeed = o.faultSeed
 			cfg.Observer = observer
 			cfg.Resume = prior
 			start := time.Now() //lint:allow wallclock — suite wall-time accounting, not simulation time
 			res, err := experiment.Run(cfg)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			elapsed := time.Since(start).Round(time.Millisecond) //lint:allow wallclock — suite wall-time accounting, not simulation time
-			fmt.Printf("== %s / %s: %d simulations in %v\n",
-				m, cfg.SetName(), res.Cells()*max(1, *reps), elapsed)
-			refs, err := emit(res, m, cfg.SetName(), *analysis, *outDir, *ascii)
+			fmt.Fprintf(o.stdout, "== %s / %s: %d simulations in %v\n",
+				m, cfg.SetName(), res.Cells()*max(1, o.reps), elapsed)
+			refs, err := emit(res, m, cfg.SetName(), o.analysis, o.outDir, o.ascii)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			panels = append(panels, refs...)
-			if err := writeResultsJSON(res, m, cfg.SetName(), *outDir); err != nil {
-				fatal(err)
+			if err := writeResultsJSON(res, m, cfg.SetName(), o.outDir); err != nil {
+				return err
 			}
 		}
 	}
 	if err := journal.Err(); err != nil {
-		fatal(fmt.Errorf("writing journal: %w", err))
+		return fmt.Errorf("writing journal: %w", err)
 	}
 	if err := journal.Close(); err != nil {
-		fatal(err)
+		return err
 	}
-	if err := writeIndex(*outDir, panels); err != nil {
-		fatal(err)
+	if err := writeIndex(o.outDir, panels); err != nil {
+		return err
 	}
-	fmt.Printf("wrote %d panels under %s (open %s)\n", len(panels), *outDir, filepath.Join(*outDir, "index.html"))
+	fmt.Fprintf(o.stdout, "wrote %d panels under %s (open %s)\n", len(panels), o.outDir, filepath.Join(o.outDir, "index.html"))
+	return nil
 }
 
 // panelRef names one emitted figure panel for the HTML index.

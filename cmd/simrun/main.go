@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/economy"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/scheduler"
 	"repro/internal/workload"
@@ -32,6 +33,8 @@ func main() {
 		urgent     = flag.Float64("urgent", 20, "percentage of high urgency jobs")
 		traceSeed  = flag.Int64("trace-seed", 1, "synthetic trace seed")
 		qosSeed    = flag.Int64("qos-seed", 2, "QoS synthesis seed")
+		faultMode  = flag.String("faults", "none", "failure intensity axis: none, low, or high")
+		faultSeed  = flag.Int64("faultseed", 1, "base seed for the failure process")
 		swf        = flag.String("swf", "", "optional SWF trace file to use instead of the synthetic trace")
 		dump       = flag.String("dump", "", "write the per-job outcome audit trail to this CSV file")
 		list       = flag.Bool("list", false, "list policies and exit")
@@ -64,8 +67,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	intensity, err := faults.ParseIntensity(*faultMode)
+	if err != nil {
+		fatal(err)
+	}
 	if *policy == "all" {
-		compareAll(m, *jobs, *nodes, *inaccuracy, *arrival, *urgent, *traceSeed, *qosSeed)
+		compareAll(m, *jobs, *nodes, *inaccuracy, *arrival, *urgent, *traceSeed, *qosSeed, intensity, *faultSeed)
 		return
 	}
 	spec, err := scheduler.SpecByName(*policy)
@@ -77,6 +84,8 @@ func main() {
 	cfg.Nodes = *nodes
 	cfg.TraceSeed = *traceSeed
 	cfg.QoSSeed = *qosSeed
+	cfg.FaultIntensity = intensity
+	cfg.FaultSeed = *faultSeed
 	if *swf != "" {
 		f, err := os.Open(*swf)
 		if err != nil {
@@ -111,8 +120,8 @@ func main() {
 		}
 	}
 	fmt.Printf("policy         %s (%s model)\n", spec.Name, m)
-	fmt.Printf("jobs           %d submitted, %d accepted, %d SLA fulfilled\n",
-		rep.Submitted, rep.Accepted, rep.SLAFulfilled)
+	fmt.Printf("jobs           %d submitted, %d accepted, %d SLA fulfilled, %d killed\n",
+		rep.Submitted, rep.Accepted, rep.SLAFulfilled, rep.Killed)
 	fmt.Printf("wait           %.1f s\n", rep.Wait)
 	fmt.Printf("SLA            %.2f %%\n", rep.SLA)
 	fmt.Printf("reliability    %.2f %%\n", rep.Reliability)
@@ -124,12 +133,14 @@ func main() {
 
 // compareAll runs every Table V policy of the model on the same workload
 // and prints a side-by-side objective table.
-func compareAll(m economy.Model, jobs, nodes int, inaccuracy, arrival, urgent float64, traceSeed, qosSeed int64) {
+func compareAll(m economy.Model, jobs, nodes int, inaccuracy, arrival, urgent float64, traceSeed, qosSeed int64, intensity faults.Intensity, faultSeed int64) {
 	cfg := experiment.DefaultSuiteConfig(m, inaccuracy >= 50)
 	cfg.Jobs = jobs
 	cfg.Nodes = nodes
 	cfg.TraceSeed = traceSeed
 	cfg.QoSSeed = qosSeed
+	cfg.FaultIntensity = intensity
+	cfg.FaultSeed = faultSeed
 	params := experiment.DefaultParams(inaccuracy)
 	params.ArrivalFactor = arrival
 	params.HighUrgencyFrac = urgent / 100

@@ -39,6 +39,13 @@ type SpaceJob struct {
 	// it.
 	EstEnd    sim.Time
 	ActualEnd sim.Time
+
+	// ev is the pending completion event, cancelled if a node failure
+	// kills the job first.
+	ev *sim.Event
+	// done is the completion callback, retained so Fail can report which
+	// callback was disarmed.
+	done func(*workload.Job)
 }
 
 // SpaceShared is a space-shared (dedicated-processor) cluster. Jobs occupy
@@ -48,8 +55,17 @@ type SpaceShared struct {
 	engine  *sim.Engine
 	ratings []float64
 	busy    []bool
-	free    int
-	running map[*workload.Job]*SpaceJob
+	// down marks failed nodes: neither free nor allocatable until repaired.
+	down []bool
+	// occupant indexes the job (if any) executing on each node, so a node
+	// failure finds its single victim in O(1).
+	occupant []*SpaceJob
+	// free counts nodes that are idle AND up; busyProcs counts nodes
+	// occupied by jobs. Down idle nodes are in neither bucket.
+	free      int
+	busyProcs int
+	downCount int
+	running   map[*workload.Job]*SpaceJob
 
 	// busyIntegral accumulates busy processor-seconds for Utilization.
 	busyIntegral float64
@@ -82,11 +98,13 @@ func NewSpaceSharedRated(engine *sim.Engine, ratings []float64) *SpaceShared {
 		}
 	}
 	return &SpaceShared{
-		engine:  engine,
-		ratings: append([]float64(nil), ratings...),
-		busy:    make([]bool, len(ratings)),
-		free:    len(ratings),
-		running: make(map[*workload.Job]*SpaceJob),
+		engine:   engine,
+		ratings:  append([]float64(nil), ratings...),
+		busy:     make([]bool, len(ratings)),
+		down:     make([]bool, len(ratings)),
+		occupant: make([]*SpaceJob, len(ratings)),
+		free:     len(ratings),
+		running:  make(map[*workload.Job]*SpaceJob),
 	}
 }
 
@@ -96,8 +114,14 @@ func (s *SpaceShared) Nodes() int { return len(s.ratings) }
 // Rating returns node i's speed multiplier.
 func (s *SpaceShared) Rating(i int) float64 { return s.ratings[i] }
 
-// FreeProcs returns the number of currently idle processors.
+// FreeProcs returns the number of processors that are idle and up.
 func (s *SpaceShared) FreeProcs() int { return s.free }
+
+// UpNodes returns the number of nodes currently operational.
+func (s *SpaceShared) UpNodes() int { return len(s.ratings) - s.downCount }
+
+// NodeDown reports whether node i is currently failed.
+func (s *SpaceShared) NodeDown(i int) bool { return s.down[i] }
 
 // RunningCount returns the number of jobs currently executing.
 func (s *SpaceShared) RunningCount() int { return len(s.running) }
@@ -108,10 +132,12 @@ func (s *SpaceShared) CanStart(procs int) bool {
 }
 
 // accrue integrates busy processor time up to the current instant; callers
-// mutate the busy count immediately afterwards.
+// mutate the busy count immediately afterwards. Down nodes do no work and
+// contribute nothing, but they stay in the capacity denominator — the
+// provider still owns them.
 func (s *SpaceShared) accrue() {
 	now := s.engine.Now()
-	s.busyIntegral += float64(len(s.ratings)-s.free) * float64(now-s.lastChange)
+	s.busyIntegral += float64(s.busyProcs) * float64(now-s.lastChange)
 	s.lastChange = now
 }
 
@@ -123,15 +149,16 @@ func (s *SpaceShared) Utilization() float64 {
 	if now <= 0 {
 		return 0
 	}
-	current := s.busyIntegral + float64(len(s.ratings)-s.free)*(now-float64(s.lastChange))
+	current := s.busyIntegral + float64(s.busyProcs)*(now-float64(s.lastChange))
 	return current / (float64(len(s.ratings)) * now)
 }
 
-// pickNodes selects the procs fastest free nodes (ties by index).
+// pickNodes selects the procs fastest free (idle and up) nodes (ties by
+// index).
 func (s *SpaceShared) pickNodes(procs int) []int {
 	idx := make([]int, 0, s.free)
 	for i, busy := range s.busy {
-		if !busy {
+		if !busy && !s.down[i] {
 			idx = append(idx, i)
 		}
 	}
@@ -174,21 +201,77 @@ func (s *SpaceShared) Start(j *workload.Job, done func(finished *workload.Job)) 
 	s.accrue()
 	for _, n := range nodes {
 		s.busy[n] = true
+		s.occupant[n] = sj
 	}
 	s.free -= j.Procs
+	s.busyProcs += j.Procs
 	s.running[j] = sj
-	s.engine.MustSchedule(sj.ActualEnd, fmt.Sprintf("complete job %d", j.ID), func() {
+	sj.done = done
+	sj.ev = s.engine.MustSchedule(sj.ActualEnd, fmt.Sprintf("complete job %d", j.ID), func() {
 		s.accrue()
-		delete(s.running, j)
-		for _, n := range sj.Nodes {
-			s.busy[n] = false
-		}
-		s.free += j.Procs
+		s.release(sj)
 		if done != nil {
 			done(j)
 		}
 	})
 	return nil
+}
+
+// release returns a finished or killed job's processors to the free pool.
+// Callers must accrue() first. Down nodes in the allocation (only possible
+// on the failure path) are not freed.
+func (s *SpaceShared) release(sj *SpaceJob) {
+	delete(s.running, sj.Job)
+	for _, n := range sj.Nodes {
+		s.busy[n] = false
+		s.occupant[n] = nil
+		if !s.down[n] {
+			s.free++
+		}
+	}
+	s.busyProcs -= sj.Job.Procs
+}
+
+// Fail marks node i as failed. The node leaves the allocatable pool until
+// Repair; the job executing on it (if any) is killed — a parallel job dies
+// whole when any of its nodes fails, its surviving processors return to the
+// free pool, and its completion event is cancelled. The victim job is
+// returned (nil when the node was idle) so the owning policy can requeue,
+// resubmit, or write the job off. Failing a node that is already down is a
+// programming error (the generator emits strictly alternating events).
+func (s *SpaceShared) Fail(i int) *workload.Job {
+	if i < 0 || i >= len(s.ratings) {
+		panic(fmt.Sprintf("cluster: Fail of node %d on a %d-node machine", i, len(s.ratings)))
+	}
+	if s.down[i] {
+		panic(fmt.Sprintf("cluster: node %d failed twice without repair", i))
+	}
+	s.accrue()
+	s.down[i] = true
+	s.downCount++
+	sj := s.occupant[i]
+	if sj == nil {
+		s.free-- // an idle node leaves the free pool
+		return nil
+	}
+	s.engine.Cancel(sj.ev)
+	s.release(sj)
+	return sj.Job
+}
+
+// Repair returns a failed node to service, idle. Repairing an up node is a
+// programming error.
+func (s *SpaceShared) Repair(i int) {
+	if i < 0 || i >= len(s.ratings) {
+		panic(fmt.Sprintf("cluster: Repair of node %d on a %d-node machine", i, len(s.ratings)))
+	}
+	if !s.down[i] {
+		panic(fmt.Sprintf("cluster: node %d repaired while up", i))
+	}
+	s.accrue()
+	s.down[i] = false
+	s.downCount--
+	s.free++
 }
 
 // Running returns the executing jobs, ordered by believed completion time
@@ -245,8 +328,13 @@ func (s *SpaceShared) EarliestAvailable(procs int) (sim.Time, error) {
 			return s.believedEnd(sj), nil
 		}
 	}
-	// Unreachable for procs <= nodes: releasing everything frees all nodes.
-	return 0, fmt.Errorf("cluster: no release plan frees %d procs", procs)
+	// Releasing every running job still leaves fewer than procs processors:
+	// failed nodes have shrunk the machine below the requested width. The
+	// width becomes available only after repairs the scheduler cannot see,
+	// so the reservation anchor is "never" — callers treat Infinity as an
+	// unblocked backfill window, and admission control eventually rejects
+	// the job when its deadline lapses.
+	return sim.Infinity, nil
 }
 
 // AvailableAt returns the number of processors expected to be free at time

@@ -86,7 +86,10 @@ type tsNode struct {
 	// rating scales the node's execution speed relative to the reference
 	// machine the trace's runtimes were measured on (1.0 = SP2 node).
 	rating float64
-	jobs   map[*TSJob]struct{}
+	// down marks a failed node: no free share, no candidates, until
+	// repaired. A failing node's jobs are killed, so a down node is empty.
+	down bool
+	jobs map[*TSJob]struct{}
 }
 
 func (n *tsNode) totalWeight() float64 { return n.booked + n.lapsedWeight }
@@ -170,8 +173,28 @@ func (t *TimeShared) Nodes() int { return len(t.nodes) }
 func (t *TimeShared) RunningCount() int { return len(t.running) }
 
 // FreeShare returns the unbooked processor fraction on node i — what
-// admission control may still commit. Lapsed jobs do not count against it.
-func (t *TimeShared) FreeShare(i int) float64 { return 1 - t.nodes[i].booked }
+// admission control may still commit. Lapsed jobs do not count against it;
+// a failed node has nothing to commit.
+func (t *TimeShared) FreeShare(i int) float64 {
+	if t.nodes[i].down {
+		return 0
+	}
+	return 1 - t.nodes[i].booked
+}
+
+// UpNodes returns the number of nodes currently operational.
+func (t *TimeShared) UpNodes() int {
+	up := 0
+	for i := range t.nodes {
+		if !t.nodes[i].down {
+			up++
+		}
+	}
+	return up
+}
+
+// NodeDown reports whether node i is currently failed.
+func (t *TimeShared) NodeDown(i int) bool { return t.nodes[i].down }
 
 // Load returns the booked processor fraction on node i.
 func (t *TimeShared) Load(i int) float64 { return t.nodes[i].booked }
@@ -195,6 +218,9 @@ func (t *TimeShared) NodeHasOverrun(i int) bool {
 func (t *TimeShared) CandidateNodes(share float64) []int {
 	var idx []int
 	for i := range t.nodes {
+		if t.nodes[i].down {
+			continue // a failed node can host nothing, however small the share
+		}
 		if t.FreeShare(i)+workEps >= share {
 			idx = append(idx, i)
 		}
@@ -357,6 +383,49 @@ func (t *TimeShared) Kill(j *workload.Job) error {
 	}
 	t.recompute()
 	return nil
+}
+
+// Fail marks node i as failed and kills every job with a share on it — a
+// parallel job dies whole when any of its nodes fails. Victims are returned
+// in job-ID order so the owning policy can account for them; the node
+// accepts no new work until Repair. Failing a node that is already down is
+// a programming error (the generator emits strictly alternating events).
+func (t *TimeShared) Fail(i int) []*workload.Job {
+	if i < 0 || i >= len(t.nodes) {
+		panic(fmt.Sprintf("cluster: Fail of node %d on a %d-node machine", i, len(t.nodes)))
+	}
+	if t.nodes[i].down {
+		panic(fmt.Sprintf("cluster: node %d failed twice without repair", i))
+	}
+	var victims []*workload.Job
+	for _, tj := range t.order { // start order: deterministic iteration
+		for _, n := range tj.Nodes {
+			if n == i {
+				victims = append(victims, tj.Job)
+				break
+			}
+		}
+	}
+	sort.Slice(victims, func(a, b int) bool { return victims[a].ID < victims[b].ID })
+	for _, j := range victims {
+		if err := t.Kill(j); err != nil {
+			panic(err) // victims were just read from the running set
+		}
+	}
+	t.nodes[i].down = true
+	return victims
+}
+
+// Repair returns a failed node to service, empty. Repairing an up node is
+// a programming error.
+func (t *TimeShared) Repair(i int) {
+	if i < 0 || i >= len(t.nodes) {
+		panic(fmt.Sprintf("cluster: Repair of node %d on a %d-node machine", i, len(t.nodes)))
+	}
+	if !t.nodes[i].down {
+		panic(fmt.Sprintf("cluster: node %d repaired while up", i))
+	}
+	t.nodes[i].down = false
 }
 
 // Lookup returns the running-state record for j, or nil.

@@ -1,0 +1,199 @@
+package experiment
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// faultySuite is observedSuite with the high-intensity failure axis on,
+// trimmed further so fault-injected determinism tests stay fast.
+func faultySuite(t *testing.T) SuiteConfig {
+	t.Helper()
+	cfg := observedSuite(t)
+	cfg.ScenarioFilter = []string{"workload"}
+	cfg.PolicyFilter = []string{"FCFS-BF", "Libra"}
+	cfg.FaultIntensity = faults.High
+	cfg.FaultSeed = 7
+	return cfg
+}
+
+// recordMap collects a reporter's CellDone records keyed for CanonicalJournal.
+func recordMap(rec *recordingReporter) map[string]obs.Record {
+	recs := make(map[string]obs.Record, len(rec.done))
+	for _, r := range rec.done {
+		recs[r.Key] = r
+	}
+	return recs
+}
+
+func canonical(t *testing.T, rec *recordingReporter) []byte {
+	t.Helper()
+	b, err := obs.CanonicalJournal(recordMap(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// With fault injection on, the suite must still be deterministic in the
+// strongest sense: the canonical journal — every per-cell report, byte for
+// byte — is identical whether cells run serially or on 8 workers.
+func TestSuiteDeterministicAcrossWorkersWithFaults(t *testing.T) {
+	cfg := faultySuite(t)
+	cfg.Workers = 1
+	recA := &recordingReporter{}
+	cfg.Observer = recA
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	recB := &recordingReporter{}
+	cfg.Observer = recB
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("results differ between 1 and 8 workers under faults")
+	}
+	ca, cb := canonical(t, recA), canonical(t, recB)
+	if !bytes.Equal(ca, cb) {
+		t.Fatal("canonical journals differ between 1 and 8 workers under faults")
+	}
+	// The axis did something: at high intensity some jobs die.
+	killed := 0
+	for _, r := range recA.done {
+		killed += r.Report.Killed
+	}
+	if killed == 0 {
+		t.Fatal("high fault intensity killed no jobs anywhere in the suite")
+	}
+}
+
+// The kill/-resume boundary must be invisible under faults: a run
+// interrupted mid-suite and resumed from its journal yields identical
+// results, and the union of the two journals is canonically byte-identical
+// to an uninterrupted run's journal.
+func TestResumeByteIdenticalWithFaults(t *testing.T) {
+	cfg := faultySuite(t)
+
+	// Uninterrupted reference run, journaled to disk like riskbench does.
+	refPath := filepath.Join(t.TempDir(), "ref.jsonl")
+	refJournal, err := obs.OpenJournal(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Observer = refJournal
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refJournal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	refRecs, err := obs.LoadJournal(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes, err := obs.CanonicalJournal(refRecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a run killed partway: only part of the journal survives.
+	prior := make(map[string]obs.Record, len(refRecs))
+	kept := 0
+	for key, r := range refRecs {
+		if kept >= len(refRecs)/2 {
+			break
+		}
+		prior[key] = r
+		kept++
+	}
+	if kept == 0 || kept == len(refRecs) {
+		t.Fatalf("degenerate interrupt: kept %d of %d records", kept, len(refRecs))
+	}
+
+	// Resume: the second run extends the surviving journal.
+	resumedPath := filepath.Join(t.TempDir(), "resumed.jsonl")
+	resumedJournal, err := obs.OpenJournal(resumedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Observer = resumedJournal
+	cfg.Resume = prior
+	resumed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumedJournal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		t.Fatal("resumed results differ from the uninterrupted run")
+	}
+
+	// Union of surviving + resumed records == reference, byte for byte.
+	merged, err := obs.LoadJournal(resumedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed := len(merged)
+	if executed != len(refRecs)-kept {
+		t.Fatalf("resumed run journaled %d cells, want %d", executed, len(refRecs)-kept)
+	}
+	for key, r := range prior {
+		if _, dup := merged[key]; dup {
+			t.Fatalf("resumed run re-executed journaled cell %s", key)
+		}
+		merged[key] = r
+	}
+	mergedBytes, err := obs.CanonicalJournal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refBytes, mergedBytes) {
+		t.Fatal("canonical journal across the kill/resume boundary differs from the uninterrupted run")
+	}
+}
+
+// PolicyFilter narrows the suite to the named policies and rejects names
+// missing from the set's column.
+func TestPolicyFilter(t *testing.T) {
+	cfg := observedSuite(t)
+	cfg.ScenarioFilter = []string{"workload"}
+	cfg.PolicyFilter = []string{"Libra", "FCFS-BF"}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Policies, []string{"FCFS-BF", "Libra"}) {
+		t.Fatalf("filtered policies = %v, want [FCFS-BF Libra] in column order", res.Policies)
+	}
+	for _, rep := range res.Scenarios[0].Reports {
+		if len(rep) != 2 {
+			t.Fatalf("cell has %d policies, want 2", len(rep))
+		}
+	}
+	cfg.PolicyFilter = []string{"Libra", "NoSuchPolicy"}
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "NoSuchPolicy") {
+		t.Fatalf("unknown policy in filter not rejected: %v", err)
+	}
+}
+
+// An unknown fault intensity is rejected up front, before any cell runs.
+func TestSuiteRejectsBadFaultIntensity(t *testing.T) {
+	cfg := smallSuite(economy.Commodity, false)
+	cfg.FaultIntensity = faults.Intensity("catastrophic")
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown fault intensity accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/economy"
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -96,6 +97,12 @@ func TestCellKeyDeterministicAndSensitive(t *testing.T) {
 	synth.MeanRuntime *= 2
 	m.Synth = &synth
 	mutations["synth config"] = m
+	m = cfg
+	m.FaultIntensity = faults.High
+	mutations["fault intensity"] = m
+	m = cfg
+	m.FaultSeed++
+	mutations["fault seed"] = m
 	for name, mc := range mutations {
 		if mc.CellKey("workload", 0.25, "Libra") == base {
 			t.Errorf("changing %s did not change the cell key", name)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/economy"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/qos"
@@ -39,6 +40,18 @@ type SuiteConfig struct {
 	// ScenarioFilter, when non-empty, restricts the suite to the named
 	// Table VI scenarios (useful for iterating on one dimension).
 	ScenarioFilter []string
+	// PolicyFilter, when non-empty, restricts the suite to the named
+	// policies (they must still belong to the model's Table V column).
+	PolicyFilter []string
+	// FaultIntensity selects the failure-intensity axis (none/low/high):
+	// a deterministic node failure/repair process injected into every cell,
+	// scaled to the workload's observation horizon. Empty means none — the
+	// paper's original never-failing machine.
+	FaultIntensity faults.Intensity
+	// FaultSeed drives the failure process draws (varied per replication by
+	// +1000·r, like the trace and QoS seeds). Independent of TraceSeed so
+	// the same workload can be replayed under different failure histories.
+	FaultSeed int64
 	// Synth optionally overrides the trace generator configuration (Jobs
 	// still wins for the job count); nil uses the SDSC SP2 calibration.
 	Synth *workload.SynthConfig
@@ -109,6 +122,8 @@ func (c SuiteConfig) CellKey(scenario string, value float64, policy string) stri
 		strconv.FormatInt(c.QoSSeed, 10),
 		strconv.Itoa(reps),
 		c.workloadFingerprint(),
+		c.FaultIntensity.String(),
+		strconv.FormatInt(c.FaultSeed, 10),
 	)
 }
 
@@ -187,7 +202,29 @@ func Run(cfg SuiteConfig) (*Results, error) {
 			return nil, err
 		}
 	}
+	if _, err := faults.ParseIntensity(string(cfg.FaultIntensity)); err != nil {
+		return nil, err
+	}
 	specs := scheduler.ForModel(cfg.Model)
+	if len(cfg.PolicyFilter) > 0 {
+		wanted := make(map[string]bool, len(cfg.PolicyFilter))
+		for _, name := range cfg.PolicyFilter {
+			wanted[name] = true
+		}
+		filtered := specs[:0]
+		for _, s := range specs {
+			if wanted[s.Name] {
+				filtered = append(filtered, s)
+				delete(wanted, s.Name)
+			}
+		}
+		for _, name := range cfg.PolicyFilter {
+			if wanted[name] {
+				return nil, fmt.Errorf("experiment: policy %q not in the %s column", name, cfg.Model)
+			}
+		}
+		specs = filtered
+	}
 	scenarios := Scenarios()
 	if len(cfg.ScenarioFilter) > 0 {
 		wanted := make(map[string]bool, len(cfg.ScenarioFilter))
@@ -372,10 +409,19 @@ func runCell(cfg SuiteConfig, base []*workload.Job, sc Scenario, value float64, 
 		if err := qos.Synthesize(jobs, p.QoSConfig(cfg.QoSSeed+int64(1000*r))); err != nil {
 			return metrics.Report{}, err
 		}
+		// The failure process is scaled to this replication's prepared
+		// workload (after arrival scaling), so the axis bites identically
+		// at test scale and paper scale.
+		var faultCfg *faults.Config
+		if cfg.FaultIntensity.Enabled() {
+			f := cfg.FaultIntensity.Config(cfg.FaultSeed+int64(1000*r), faults.JobsHorizon(jobs))
+			faultCfg = &f
+		}
 		rep, err := scheduler.Run(jobs, spec.New, scheduler.RunConfig{
 			Nodes:     cfg.Nodes,
 			Model:     cfg.Model,
 			BasePrice: economy.DefaultBasePrice,
+			Faults:    faultCfg,
 		})
 		if err != nil {
 			return metrics.Report{}, err

@@ -1,0 +1,195 @@
+// Package faults generates deterministic node failure and repair event
+// sequences for the simulated cluster, in the tradition of the
+// GridSim/CloudSim resource-failure models.
+//
+// Every node alternates between up and down periods whose lengths are drawn
+// from explicitly seeded exponential or Weibull distributions. Each node
+// draws from its own PRNG substream (derived from the configuration seed by
+// a SplitMix64 finalizer), so the schedule for node i never depends on how
+// many events another node produced — adding a node or lengthening the
+// horizon perturbs nothing else. The generated schedule is a plain sorted
+// slice of events; the simulation driver turns each into a sim.Engine event
+// so failures interleave deterministically with job submissions and
+// completions, preserving the repository's bit-for-bit reproducibility.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Distribution selects the family an up- or down-time is drawn from.
+type Distribution int
+
+const (
+	// Exponential draws memoryless inter-event times (the classic
+	// constant-hazard failure model).
+	Exponential Distribution = iota
+	// Weibull draws inter-event times with a shape parameter: shape < 1
+	// models bursty infant-mortality failures, shape > 1 wear-out or
+	// narrowly concentrated repair times.
+	Weibull
+)
+
+// String returns the distribution name.
+func (d Distribution) String() string {
+	switch d {
+	case Exponential:
+		return "exponential"
+	case Weibull:
+		return "weibull"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// Config parameterizes one failure process. The zero value means "no
+// faults" (Enabled reports false).
+type Config struct {
+	// Seed drives every draw; two runs with equal configs produce
+	// byte-identical schedules.
+	Seed int64
+	// MTBF is the per-node mean up-time between failures, in seconds.
+	MTBF float64
+	// MTTR is the per-node mean down-time until repair, in seconds.
+	MTTR float64
+	// FailureDist and RepairDist select the distribution families.
+	FailureDist, RepairDist Distribution
+	// FailureShape and RepairShape are the Weibull shapes; ignored for
+	// exponential draws.
+	FailureShape, RepairShape float64
+	// Horizon bounds the schedule: events are generated in (0, Horizon).
+	// Failures after the horizon are not modeled — the process is observed
+	// over a finite window, which keeps the simulation's event queue finite.
+	Horizon float64
+}
+
+// Enabled reports whether the configuration describes an active failure
+// process.
+func (c Config) Enabled() bool { return c.MTBF > 0 && c.Horizon > 0 }
+
+// Validate checks an enabled configuration's parameter ranges.
+func (c Config) Validate() error {
+	if !c.Enabled() {
+		return nil
+	}
+	if c.MTTR <= 0 {
+		return fmt.Errorf("faults: non-positive MTTR %v", c.MTTR)
+	}
+	for _, d := range []Distribution{c.FailureDist, c.RepairDist} {
+		if d != Exponential && d != Weibull {
+			return fmt.Errorf("faults: unknown distribution %d", int(d))
+		}
+	}
+	if c.FailureDist == Weibull && c.FailureShape <= 0 {
+		return fmt.Errorf("faults: non-positive Weibull failure shape %v", c.FailureShape)
+	}
+	if c.RepairDist == Weibull && c.RepairShape <= 0 {
+		return fmt.Errorf("faults: non-positive Weibull repair shape %v", c.RepairShape)
+	}
+	return nil
+}
+
+// Event is one node state transition. Down events kill the node's resident
+// jobs and remove its capacity; Up events restore it.
+type Event struct {
+	// Time is the virtual time of the transition, in seconds.
+	Time float64
+	// Node is the index of the affected node.
+	Node int
+	// Down is true for a failure, false for a repair.
+	Down bool
+}
+
+// nodeSeed derives node i's PRNG substream seed from the config seed with a
+// SplitMix64 finalizer, so neighboring nodes get statistically independent
+// streams even for adjacent seeds.
+func nodeSeed(seed int64, node int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(node+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// minGap keeps per-node transition times strictly increasing even when a
+// draw underflows to zero, so failure and repair events can never coincide
+// on one node.
+const minGap = 1e-9
+
+// draw samples one interval of the given distribution with the given mean.
+func draw(rng *stats.Rng, dist Distribution, shape, mean float64) float64 {
+	var v float64
+	switch dist {
+	case Weibull:
+		v = stats.WeibullFromMean(rng, shape, mean)
+	default:
+		v = stats.Exponential(rng, mean)
+	}
+	if v < minGap {
+		v = minGap
+	}
+	return v
+}
+
+// Generate produces the full failure/repair schedule for a machine of the
+// given size: for each node, alternating up- and down-intervals are drawn
+// until the horizon, and the per-node sequences are merged into one slice
+// sorted by (time, node). Per node, failure and repair events strictly
+// alternate starting with a failure; a node whose repair falls past the
+// horizon stays down for the rest of the run. A disabled config yields nil.
+func Generate(cfg Config, nodes int) ([]Event, error) {
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nodes <= 0 {
+		return nil, fmt.Errorf("faults: non-positive node count %d", nodes)
+	}
+	var events []Event
+	for n := 0; n < nodes; n++ {
+		rng := stats.NewRand(nodeSeed(cfg.Seed, n))
+		t := 0.0
+		for {
+			t += draw(rng, cfg.FailureDist, cfg.FailureShape, cfg.MTBF)
+			if t >= cfg.Horizon {
+				break
+			}
+			events = append(events, Event{Time: t, Node: n, Down: true})
+			t += draw(rng, cfg.RepairDist, cfg.RepairShape, cfg.MTTR)
+			if t >= cfg.Horizon {
+				break // down for the rest of the observed window
+			}
+			events = append(events, Event{Time: t, Node: n, Down: false})
+		}
+	}
+	sort.Slice(events, func(i, k int) bool {
+		if events[i].Time != events[k].Time {
+			return events[i].Time < events[k].Time
+		}
+		return events[i].Node < events[k].Node
+	})
+	return events, nil
+}
+
+// JobsHorizon returns the failure observation window for a prepared
+// workload: through the latest deadline plus the longest runtime, so a job
+// restarted near its deadline edge still runs under the failure process.
+// (A squeezed time-shared job can outlive this bound; it simply sees no
+// failures after the window closes.)
+func JobsHorizon(jobs []*workload.Job) float64 {
+	h := 0.0
+	for _, j := range jobs {
+		if end := j.AbsDeadline() + j.Runtime; end > h {
+			h = end
+		}
+	}
+	return h
+}

@@ -1,0 +1,241 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func highConfig(seed int64) Config {
+	return High.Config(seed, 100000)
+}
+
+// Property: for any seed, the schedule is sorted, inside the horizon, and
+// per node strictly alternates failure → repair → failure starting with a
+// failure.
+func TestGenerateInvariantsAcrossSeeds(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		for _, cfg := range []Config{highConfig(seed), Low.Config(seed, 500000)} {
+			events, err := Generate(cfg, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lastTime := 0.0
+			down := make(map[int]bool)
+			perNodeLast := make(map[int]float64)
+			for i, ev := range events {
+				if ev.Time <= 0 || ev.Time >= cfg.Horizon {
+					t.Fatalf("seed %d: event %d at %v outside (0, %v)", seed, i, ev.Time, cfg.Horizon)
+				}
+				if ev.Time < lastTime {
+					t.Fatalf("seed %d: schedule not sorted at event %d", seed, i)
+				}
+				lastTime = ev.Time
+				if ev.Node < 0 || ev.Node >= 32 {
+					t.Fatalf("seed %d: node %d out of range", seed, ev.Node)
+				}
+				if down[ev.Node] == ev.Down {
+					t.Fatalf("seed %d: node %d does not alternate at event %d (down=%v twice)", seed, ev.Node, i, ev.Down)
+				}
+				down[ev.Node] = ev.Down
+				if prev, ok := perNodeLast[ev.Node]; ok && ev.Time <= prev {
+					t.Fatalf("seed %d: node %d time %v not strictly after %v", seed, ev.Node, ev.Time, prev)
+				}
+				perNodeLast[ev.Node] = ev.Time
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := highConfig(7)
+	a, err := Generate(cfg, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("high intensity produced no events")
+	}
+	other, err := Generate(Config{
+		Seed: 8, MTBF: cfg.MTBF, MTTR: cfg.MTTR,
+		FailureDist: cfg.FailureDist, FailureShape: cfg.FailureShape,
+		RepairDist: cfg.RepairDist, RepairShape: cfg.RepairShape,
+		Horizon: cfg.Horizon,
+	}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, other) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// Per-node substreams: a node's schedule must not depend on the machine
+// size, so growing the cluster never perturbs existing nodes.
+func TestGenerateNodeStreamsIndependent(t *testing.T) {
+	cfg := highConfig(3)
+	small, err := Generate(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Generate(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := func(evs []Event, max int) []Event {
+		var out []Event
+		for _, ev := range evs {
+			if ev.Node < max {
+				out = append(out, ev)
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(small, filter(large, 8)) {
+		t.Fatal("growing the machine changed existing nodes' schedules")
+	}
+}
+
+// The intensity presets should land near their designed expected failure
+// counts: ~0.5 per node for low, ~4 per node for high.
+func TestIntensityCalibration(t *testing.T) {
+	const nodes, horizon = 256, 1e6
+	for _, tc := range []struct {
+		level   Intensity
+		perNode float64
+	}{
+		{Low, 0.5},
+		{High, 4},
+	} {
+		events, err := Generate(tc.level.Config(1, horizon), nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		failures := 0
+		for _, ev := range events {
+			if ev.Down {
+				failures++
+			}
+		}
+		got := float64(failures) / nodes
+		if math.Abs(got-tc.perNode)/tc.perNode > 0.35 {
+			t.Errorf("%s: %v failures/node, want ~%v", tc.level, got, tc.perNode)
+		}
+	}
+}
+
+func TestIntensityParseAndConfig(t *testing.T) {
+	for _, s := range []string{"", "none", "low", "high"} {
+		if _, err := ParseIntensity(s); err != nil {
+			t.Errorf("ParseIntensity(%q) = %v", s, err)
+		}
+	}
+	if _, err := ParseIntensity("extreme"); err == nil {
+		t.Error("unknown intensity accepted")
+	}
+	if None.Enabled() || Intensity("").Enabled() {
+		t.Error("none reports enabled")
+	}
+	if !Low.Enabled() || !High.Enabled() {
+		t.Error("low/high report disabled")
+	}
+	if Intensity("").String() != "none" {
+		t.Errorf("empty intensity String = %q", Intensity("").String())
+	}
+	if cfg := None.Config(1, 1000); cfg.Enabled() {
+		t.Error("none expands to an enabled config")
+	}
+	if cfg := Low.Config(1, 0); cfg.Enabled() {
+		t.Error("zero horizon expands to an enabled config")
+	}
+	for _, level := range []Intensity{Low, High} {
+		cfg := level.Config(1, 1000)
+		if !cfg.Enabled() {
+			t.Errorf("%s expands to a disabled config", level)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s config invalid: %v", level, err)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("disabled config invalid: %v", err)
+	}
+	bad := highConfig(1)
+	bad.MTTR = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero MTTR accepted")
+	}
+	bad = highConfig(1)
+	bad.FailureShape = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero Weibull failure shape accepted")
+	}
+	bad = highConfig(1)
+	bad.RepairShape = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative Weibull repair shape accepted")
+	}
+	bad = highConfig(1)
+	bad.FailureDist = Distribution(99)
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	if Distribution(99).String() == "" || Exponential.String() != "exponential" || Weibull.String() != "weibull" {
+		t.Error("Distribution.String broken")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if evs, err := Generate(Config{}, 8); err != nil || evs != nil {
+		t.Errorf("disabled config: %v, %v", evs, err)
+	}
+	if _, err := Generate(highConfig(1), 0); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	bad := highConfig(1)
+	bad.MTTR = 0
+	if _, err := Generate(bad, 8); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestJobsHorizon(t *testing.T) {
+	jobs := []*workload.Job{
+		{ID: 1, Submit: 0, Runtime: 100, Estimate: 100, Procs: 1, Deadline: 500, Budget: 1},
+		{ID: 2, Submit: 1000, Runtime: 300, Estimate: 300, Procs: 1, Deadline: 2000, Budget: 1},
+	}
+	if h := JobsHorizon(jobs); h != 1000+2000+300 {
+		t.Errorf("JobsHorizon = %v, want 3300", h)
+	}
+	if h := JobsHorizon(nil); h != 0 {
+		t.Errorf("JobsHorizon(nil) = %v", h)
+	}
+}
+
+// Sorted merge ties across nodes break by node index, deterministically.
+func TestGenerateSortTieBreak(t *testing.T) {
+	events := []Event{{Time: 5, Node: 3, Down: true}, {Time: 5, Node: 1, Down: true}, {Time: 2, Node: 7, Down: true}}
+	sort.Slice(events, func(i, k int) bool {
+		if events[i].Time != events[k].Time {
+			return events[i].Time < events[k].Time
+		}
+		return events[i].Node < events[k].Node
+	})
+	want := []Event{{Time: 2, Node: 7, Down: true}, {Time: 5, Node: 1, Down: true}, {Time: 5, Node: 3, Down: true}}
+	if !reflect.DeepEqual(events, want) {
+		t.Errorf("tie-break order = %+v", events)
+	}
+}

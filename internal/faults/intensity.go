@@ -1,0 +1,78 @@
+package faults
+
+import "fmt"
+
+// Intensity is the failure-intensity scenario axis exposed by the
+// experiment suite and cmd/riskbench: a coarse none/low/high knob that
+// expands into a concrete Config scaled to the run's observation horizon.
+// Scaling by the horizon (rather than absolute seconds) keeps the axis
+// meaningful from 100-job test traces to the paper-scale 5000-job trace:
+// "low" always means roughly half an expected failure per node over the
+// run, "high" roughly four.
+type Intensity string
+
+const (
+	// None disables fault injection; the cluster never fails (the paper's
+	// original setting, under which every policy maxes out reliability).
+	None Intensity = "none"
+	// Low models a well-run machine: exponential failures with a per-node
+	// MTBF of twice the horizon (≈0.5 expected failures per node, ≈64
+	// node-failures on the 128-node SP2 over a run) and tightly
+	// concentrated Weibull(2) repairs averaging 2% of the horizon.
+	Low Intensity = "low"
+	// High models a failure-prone machine: bursty Weibull(0.7) failures
+	// with a per-node MTBF of a quarter horizon (≈4 expected failures per
+	// node) and Weibull(2) repairs averaging 5% of the horizon.
+	High Intensity = "high"
+)
+
+// ParseIntensity maps a flag string to an Intensity ("" means none).
+func ParseIntensity(s string) (Intensity, error) {
+	switch Intensity(s) {
+	case "", None:
+		return None, nil
+	case Low:
+		return Low, nil
+	case High:
+		return High, nil
+	default:
+		return None, fmt.Errorf("faults: unknown intensity %q (want none, low, or high)", s)
+	}
+}
+
+// Enabled reports whether the intensity injects any faults.
+func (i Intensity) Enabled() bool { return i == Low || i == High }
+
+// String returns the flag spelling; the empty intensity reads as none.
+func (i Intensity) String() string {
+	if i == "" {
+		return string(None)
+	}
+	return string(i)
+}
+
+// Config expands the intensity into a concrete failure process over the
+// given observation horizon. None (or a non-positive horizon) yields a
+// disabled config.
+func (i Intensity) Config(seed int64, horizon float64) Config {
+	if !i.Enabled() || horizon <= 0 {
+		return Config{}
+	}
+	cfg := Config{Seed: seed, Horizon: horizon}
+	switch i {
+	case Low:
+		cfg.MTBF = 2 * horizon
+		cfg.MTTR = 0.02 * horizon
+		cfg.FailureDist = Exponential
+		cfg.RepairDist = Weibull
+		cfg.RepairShape = 2
+	case High:
+		cfg.MTBF = 0.25 * horizon
+		cfg.MTTR = 0.05 * horizon
+		cfg.FailureDist = Weibull
+		cfg.FailureShape = 0.7
+		cfg.RepairDist = Weibull
+		cfg.RepairShape = 2
+	}
+	return cfg
+}

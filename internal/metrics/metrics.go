@@ -137,6 +137,22 @@ func (c *Collector) Killed(j *workload.Job, at, utility float64) {
 	c.byJob[j].Killed = true
 }
 
+// Abandoned records the provider writing off an accepted job that never
+// started — stranded in the queue when node failures made its width or
+// deadline unservable. It counts against reliability exactly like a killed
+// job (accepted, SLA unfulfilled) but has no completion time.
+func (c *Collector) Abandoned(j *workload.Job, at float64) {
+	o := c.must(j, "abandon")
+	if o.Started {
+		panic(fmt.Sprintf("metrics: job %d abandoned after starting (use Killed)", j.ID))
+	}
+	if !o.Accepted {
+		panic(fmt.Sprintf("metrics: job %d abandoned without acceptance (use Rejected)", j.ID))
+	}
+	o.Killed = true
+	o.FinishTime = at
+}
+
 // Outcome returns the record for j, or nil if never submitted.
 func (c *Collector) Outcome(j *workload.Job) *Outcome { return c.byJob[j] }
 
@@ -148,6 +164,10 @@ type Report struct {
 	Submitted    int // m
 	Accepted     int // n
 	SLAFulfilled int // nSLA
+	// Killed counts accepted jobs the provider terminated or abandoned —
+	// under fault injection, the victims of node failures that were not
+	// successfully restarted. Each one drags reliability below 100.
+	Killed int
 
 	// The four objectives. Wait is in seconds; the rest are percentages.
 	Wait          float64
@@ -186,6 +206,9 @@ func (c *Collector) Report() Report {
 		if o.SLAFulfilled() {
 			r.SLAFulfilled++
 			waitSum += o.Wait()
+		}
+		if o.Killed {
+			r.Killed++
 		}
 		if o.Finished {
 			finished++
@@ -229,11 +252,12 @@ func AverageReports(reports []Report) Report {
 	}
 	n := float64(len(reports))
 	var out Report
-	var submitted, accepted, fulfilled float64
+	var submitted, accepted, fulfilled, killed float64
 	for _, r := range reports {
 		submitted += float64(r.Submitted)
 		accepted += float64(r.Accepted)
 		fulfilled += float64(r.SLAFulfilled)
+		killed += float64(r.Killed)
 		out.Wait += r.Wait
 		out.SLA += r.SLA
 		out.Reliability += r.Reliability
@@ -247,6 +271,7 @@ func AverageReports(reports []Report) Report {
 	out.Submitted = int(submitted/n + 0.5)
 	out.Accepted = int(accepted/n + 0.5)
 	out.SLAFulfilled = int(fulfilled/n + 0.5)
+	out.Killed = int(killed/n + 0.5)
 	out.Wait /= n
 	out.SLA /= n
 	out.Reliability /= n

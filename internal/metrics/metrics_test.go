@@ -248,3 +248,73 @@ func TestAverageReports(t *testing.T) {
 	}()
 	AverageReports(nil)
 }
+
+func TestAbandonedAndKilledCount(t *testing.T) {
+	c := NewCollector()
+	// Job 1: accepted, started, killed mid-run by a node failure.
+	j1 := mkJob(1, 0, 100, 200, 100)
+	c.Submitted(j1)
+	c.Accepted(j1)
+	c.Started(j1, 10)
+	c.Killed(j1, 50, 0)
+	// Job 2: accepted, stranded in the queue, abandoned.
+	j2 := mkJob(2, 0, 100, 200, 100)
+	c.Submitted(j2)
+	c.Accepted(j2)
+	c.Abandoned(j2, 300)
+	// Job 3: accepted and fulfilled, for contrast.
+	j3 := mkJob(3, 0, 100, 200, 100)
+	c.Submitted(j3)
+	c.Accepted(j3)
+	c.Started(j3, 0)
+	c.Finished(j3, 100, 80)
+
+	o2 := c.Outcome(j2)
+	if !o2.Killed || o2.Finished || o2.Started || o2.FinishTime != 300 {
+		t.Errorf("abandoned outcome wrong: %+v", o2)
+	}
+	if o2.SLAFulfilled() {
+		t.Error("abandoned job fulfils SLA")
+	}
+	r := c.Report()
+	if r.Killed != 2 {
+		t.Errorf("Killed = %d, want 2", r.Killed)
+	}
+	if r.Accepted != 3 || r.SLAFulfilled != 1 {
+		t.Errorf("accepted/fulfilled = %d/%d, want 3/1", r.Accepted, r.SLAFulfilled)
+	}
+	if math.Abs(r.Reliability-100.0/3) > 1e-9 {
+		t.Errorf("Reliability = %v, want 33.3", r.Reliability)
+	}
+
+	avg := AverageReports([]Report{{Killed: 1}, {Killed: 2}})
+	if avg.Killed != 2 { // 1.5 rounds to 2
+		t.Errorf("averaged Killed = %d, want 2", avg.Killed)
+	}
+}
+
+func TestAbandonedPanics(t *testing.T) {
+	c := NewCollector()
+	j := mkJob(1, 0, 100, 200, 100)
+	c.Submitted(j)
+	c.Accepted(j)
+	c.Started(j, 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("abandon after start did not panic")
+			}
+		}()
+		c.Abandoned(j, 10)
+	}()
+	j2 := mkJob(2, 0, 100, 200, 100)
+	c.Submitted(j2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("abandon before acceptance did not panic")
+			}
+		}()
+		c.Abandoned(j2, 10)
+	}()
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -125,6 +126,54 @@ func (j *Journal) SuiteDone(Summary) {
 	if err := j.f.Sync(); err != nil && j.err == nil {
 		j.err = err
 	}
+}
+
+// CanonicalJournal serializes a record set into a canonical byte form for
+// equality comparison across runs: records sorted by cell identity, with
+// the volatile fields — WallSeconds (wall-clock time) and Resumed (which
+// run executed the cell) — cleared. Two runs of the same configuration are
+// deterministic exactly when their canonical journals are byte-identical,
+// regardless of worker count, completion order, or resume boundaries.
+func CanonicalJournal(recs map[string]Record) ([]byte, error) {
+	keys := make([]string, 0, len(recs))
+	for k := range recs {
+		keys = append(keys, k)
+	}
+	ordered := make([]Record, 0, len(recs))
+	for _, k := range keys {
+		ordered = append(ordered, recs[k])
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.Set != b.Set {
+			return a.Set < b.Set
+		}
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
+		}
+		if a.ValueIndex != b.ValueIndex {
+			return a.ValueIndex < b.ValueIndex
+		}
+		if a.Policy != b.Policy {
+			return a.Policy < b.Policy
+		}
+		return a.Key < b.Key
+	})
+	var out []byte
+	for _, r := range ordered {
+		r.WallSeconds = 0
+		r.Resumed = false
+		line, err := json.Marshal(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, line...)
+		out = append(out, '\n')
+	}
+	return out, nil
 }
 
 // LoadJournal reads a journal back as a key → Record map for

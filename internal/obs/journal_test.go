@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"os"
 	"path/filepath"
@@ -180,5 +182,52 @@ func TestLoadJournalMissingFile(t *testing.T) {
 	_, err := LoadJournal(filepath.Join(t.TempDir(), "absent.jsonl"))
 	if !os.IsNotExist(err) {
 		t.Fatalf("want a not-exist error, got %v", err)
+	}
+}
+
+func TestCanonicalJournalOrderAndVolatileFields(t *testing.T) {
+	// Two record sets with the same cells: different map keys' insertion
+	// history, different wall-clock times, one resumed. Canonically equal.
+	a := map[string]Record{}
+	b := map[string]Record{}
+	r1 := sampleRecord("aaa")
+	r2 := sampleRecord("bbb")
+	r2.Policy = "FCFS-BF"
+	r2.ValueIndex = 0
+	a[r1.Key], a[r2.Key] = r1, r2
+	r1b, r2b := r1, r2
+	r1b.WallSeconds = 99.5
+	r2b.Resumed = true
+	b[r2b.Key], b[r1b.Key] = r2b, r1b
+	ca, err := CanonicalJournal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := CanonicalJournal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ca) != string(cb) {
+		t.Fatalf("canonical journals differ:\n%s\n%s", ca, cb)
+	}
+	// Ordering is by cell identity, not map key: r2 sorts first on ValueIndex.
+	var first Record
+	line := ca[:bytes.IndexByte(ca, '\n')]
+	if err := json.Unmarshal(line, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Key != "bbb" {
+		t.Fatalf("first canonical record is %q, want bbb (lower ValueIndex)", first.Key)
+	}
+	// A substantive difference shows up.
+	r1c := r1
+	r1c.Report.Killed = 7
+	a[r1c.Key] = r1c
+	cc, err := CanonicalJournal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cc) == string(ca) {
+		t.Fatal("changed report not reflected in canonical journal")
 	}
 }

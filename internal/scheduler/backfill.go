@@ -77,11 +77,29 @@ func (b *backfillPolicy) Submit(j *workload.Job) {
 func (b *backfillPolicy) Drain() {
 	// The scheduling loop runs at every completion, and an empty machine
 	// fits any job, so a job still queued when the event queue empties has
-	// already failed admission; reject defensively.
+	// already failed admission — or, under fault injection, is a requeued
+	// failure victim the shrunken machine could never restart.
+	now := float64(b.ctx.Engine.Now())
 	for _, j := range b.queue {
-		b.ctx.Collector.Rejected(j)
+		writeOff(b.ctx.Collector, j, now)
 	}
 	b.queue = nil
+}
+
+// NodeDown fails a node: its resident job (if any) is requeued for a full
+// restart and faces admission again — if its estimate no longer fits before
+// its deadline, the purge writes it off as killed.
+func (b *backfillPolicy) NodeDown(node int) {
+	if victim := b.cluster.Fail(node); victim != nil {
+		b.queue = append(b.queue, victim)
+	}
+	b.schedule()
+}
+
+// NodeUp repairs a node; the restored capacity may start queued jobs.
+func (b *backfillPolicy) NodeUp(node int) {
+	b.cluster.Repair(node)
+	b.schedule()
 }
 
 // admissible applies the generous admission control at time now.
@@ -152,7 +170,9 @@ func (b *backfillPolicy) schedule() {
 	b.queue = kept
 }
 
-// purge rejects every queued job that can no longer pass admission.
+// purge writes off every queued job that can no longer pass admission:
+// plain rejection for jobs never accepted, a kill for requeued failure
+// victims whose restart window has closed.
 func (b *backfillPolicy) purge(now float64) {
 	kept := b.queue[:0]
 	for _, j := range b.queue {
@@ -160,7 +180,7 @@ func (b *backfillPolicy) purge(now float64) {
 			kept = append(kept, j)
 			continue
 		}
-		b.ctx.Collector.Rejected(j)
+		writeOff(b.ctx.Collector, j, now)
 	}
 	b.queue = kept
 }

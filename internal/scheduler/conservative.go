@@ -41,10 +41,26 @@ func (c *conservative) Submit(j *workload.Job) {
 }
 
 func (c *conservative) Drain() {
+	now := float64(c.ctx.Engine.Now())
 	for _, j := range c.queue {
-		c.ctx.Collector.Rejected(j)
+		writeOff(c.ctx.Collector, j, now)
 	}
 	c.queue = nil
+}
+
+// NodeDown fails a node: its resident job is requeued for a full restart
+// and faces admission again.
+func (c *conservative) NodeDown(node int) {
+	if victim := c.cluster.Fail(node); victim != nil {
+		c.queue = append(c.queue, victim)
+	}
+	c.schedule()
+}
+
+// NodeUp repairs a node; the restored capacity may start queued jobs.
+func (c *conservative) NodeUp(node int) {
+	c.cluster.Repair(node)
+	c.schedule()
 }
 
 func (c *conservative) admissible(j *workload.Job, now float64) bool {
@@ -64,14 +80,15 @@ func (c *conservative) admissible(j *workload.Job, now float64) bool {
 // estimates compress the plan without ever pushing a reservation later.
 func (c *conservative) schedule() {
 	now := float64(c.ctx.Engine.Now())
-	// Purge jobs that can no longer meet their deadline.
+	// Purge jobs that can no longer meet their deadline (failure victims
+	// whose restart window closed are written off as killed).
 	kept := c.queue[:0]
 	for _, j := range c.queue {
 		if c.admissible(j, now) {
 			kept = append(kept, j)
 			continue
 		}
-		c.ctx.Collector.Rejected(j)
+		writeOff(c.ctx.Collector, j, now)
 	}
 	c.queue = kept
 	sort.SliceStable(c.queue, func(i, k int) bool {
@@ -101,9 +118,9 @@ func (c *conservative) schedule() {
 			continue
 		}
 		if math.IsInf(t, 1) {
-			// Wider than the machine is rejected at Run; an infinite
-			// reservation cannot happen, but guard anyway.
-			c.ctx.Collector.Rejected(j)
+			// Failed nodes can shrink the machine below the job's width;
+			// nothing schedulable remains for it, so write it off.
+			writeOff(c.ctx.Collector, j, now)
 			continue
 		}
 		if err := prof.reserve(t, j.Estimate, j.Procs); err != nil {

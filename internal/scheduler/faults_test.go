@@ -1,0 +1,213 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// highFaults builds an enabled high-intensity fault config scaled to the
+// given workload.
+func highFaults(jobs []*workload.Job, seed int64) *faults.Config {
+	cfg := faults.High.Config(seed, faults.JobsHorizon(jobs))
+	return &cfg
+}
+
+// Property: under fault injection, every policy still settles every job —
+// each submitted job ends exactly one of rejected, fulfilled-or-late
+// finished, killed, or abandoned, and the counts add up. Randomized over
+// workload and fault seeds.
+func TestEveryPolicySettlesEveryJobUnderFaults(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, spec := range Specs() {
+			for _, model := range spec.Models {
+				seed, spec, model := seed, spec, model
+				t.Run(spec.Name+"/"+model.String(), func(t *testing.T) {
+					jobs := synthWorkload(t, 200, 100, seed)
+					cfg := RunConfig{Nodes: 16, Model: model, BasePrice: 1, Faults: highFaults(jobs, seed)}
+					var col *metrics.Collector
+					factory := func(ctx *Context) Policy {
+						col = ctx.Collector
+						return spec.New(ctx)
+					}
+					rep, err := Run(jobs, factory, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					finished, killed, abandoned, rejected := 0, 0, 0, 0
+					for _, o := range col.Outcomes() {
+						switch {
+						case o.Rejected:
+							rejected++
+							if o.Started || o.Finished || o.Killed {
+								t.Fatalf("job %d rejected but ran: %+v", o.Job.ID, *o)
+							}
+						case !o.Accepted:
+							t.Fatalf("job %d neither accepted nor rejected", o.Job.ID)
+						case o.Killed && o.Finished: // started, then killed
+							killed++
+							if !o.Started {
+								t.Fatalf("job %d finished+killed without starting", o.Job.ID)
+							}
+						case o.Killed: // abandoned in the queue
+							abandoned++
+							if o.Started {
+								t.Fatalf("job %d abandoned after starting", o.Job.ID)
+							}
+						case o.Finished:
+							finished++
+							if !o.Started {
+								t.Fatalf("job %d finished without starting", o.Job.ID)
+							}
+						default:
+							t.Fatalf("job %d accepted but never settled: %+v", o.Job.ID, *o)
+						}
+						if o.SLAFulfilled() && o.Killed {
+							t.Fatalf("killed job %d fulfils SLA", o.Job.ID)
+						}
+					}
+					if finished+killed+abandoned+rejected != rep.Submitted {
+						t.Fatalf("conservation: %d finished + %d killed + %d abandoned + %d rejected != %d submitted",
+							finished, killed, abandoned, rejected, rep.Submitted)
+					}
+					if rep.Killed != killed+abandoned {
+						t.Fatalf("Report.Killed = %d, recomputed %d", rep.Killed, killed+abandoned)
+					}
+					if rep.Accepted != finished+killed+abandoned {
+						t.Fatalf("Report.Accepted = %d, recomputed %d", rep.Accepted, finished+killed+abandoned)
+					}
+					if rep.Reliability < 0 || rep.Reliability > 100 {
+						t.Fatalf("reliability out of range: %v", rep.Reliability)
+					}
+				})
+			}
+		}
+	}
+}
+
+// The point of the axis: with faults the cluster kills work, so reliability
+// finally drops below the fault-free ceiling and discriminates policies.
+func TestFaultsDegradeReliability(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    Factory
+		m    economy.Model
+	}{
+		{"FCFS-BF", NewFCFSBF, economy.Commodity},
+		{"Libra", NewLibra, economy.Commodity},
+	} {
+		jobs := synthWorkload(t, 300, 0, 41) // Set A: accurate estimates
+		clean := runPolicy(t, workload.CloneAll(jobs), tc.f, RunConfig{Nodes: 16, Model: tc.m, BasePrice: 1})
+		faulty := runPolicy(t, workload.CloneAll(jobs), tc.f,
+			RunConfig{Nodes: 16, Model: tc.m, BasePrice: 1, Faults: highFaults(jobs, 41)})
+		if clean.Reliability != 100 {
+			t.Errorf("%s: fault-free Set A reliability = %v, want 100", tc.name, clean.Reliability)
+		}
+		if clean.Killed != 0 {
+			t.Errorf("%s: fault-free run killed %d jobs", tc.name, clean.Killed)
+		}
+		if faulty.Killed == 0 {
+			t.Errorf("%s: high-intensity faults killed nothing", tc.name)
+		}
+		if faulty.Reliability >= clean.Reliability {
+			t.Errorf("%s: faulty reliability %v not below clean %v", tc.name, faulty.Reliability, clean.Reliability)
+		}
+	}
+}
+
+// Determinism regression: the same workload, policy, and fault seed must
+// produce byte-identical reports run to run.
+func TestRunDeterminismWithFaults(t *testing.T) {
+	for _, spec := range Specs() {
+		model := spec.Models[0]
+		run := func() metrics.Report {
+			jobs := synthWorkload(t, 200, 100, 43)
+			return runPolicy(t, jobs, spec.New,
+				RunConfig{Nodes: 16, Model: model, BasePrice: 1, Faults: highFaults(jobs, 43)})
+		}
+		a, b := run(), run()
+		if a != b {
+			t.Errorf("%s: reports differ across identical faulty runs:\n%+v\n%+v", spec.Name, a, b)
+		}
+	}
+}
+
+// The extension policies outside Table V absorb faults too, with the same
+// settlement guarantee — including the no-admission baselines, where jobs
+// wider than the surviving machine are stranded until drain.
+func TestExtensionPoliciesSettleUnderFaults(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    Factory
+		m    economy.Model
+		// wantKill asserts some victim stayed dead; QoPS restarts every
+		// victim its strict admission let in, so it may legitimately kill
+		// nothing.
+		wantKill bool
+	}{
+		{"FCFS-BF/noAC", NewFCFSNoAC, economy.Commodity, true},
+		{"EDF-BF/noAC", NewEDFNoAC, economy.BidBased, true},
+		{"QoPS", NewQoPS, economy.Commodity, false},
+		{"FCFS-CONS", NewFCFSConservative, economy.Commodity, true},
+		{"LibraT", NewLibraTerminate, economy.Commodity, true},
+		{"FirstReward/bounded", NewFirstRewardBounded, economy.BidBased, true},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			jobs := synthWorkload(t, 200, 100, 53)
+			cfg := RunConfig{Nodes: 16, Model: tc.m, BasePrice: 1, Faults: highFaults(jobs, 53)}
+			var col *metrics.Collector
+			factory := func(ctx *Context) Policy {
+				col = ctx.Collector
+				return tc.f(ctx)
+			}
+			rep, err := Run(jobs, factory, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			settled := 0
+			for _, o := range col.Outcomes() {
+				if o.Rejected || o.Finished || o.Killed {
+					settled++
+				} else if o.Accepted {
+					t.Fatalf("job %d accepted but never settled: %+v", o.Job.ID, *o)
+				}
+			}
+			if settled != rep.Submitted {
+				t.Fatalf("%d settled of %d submitted", settled, rep.Submitted)
+			}
+			if tc.wantKill && rep.Killed == 0 {
+				t.Error("high-intensity faults killed nothing")
+			}
+		})
+	}
+}
+
+// faultBlindPolicy deliberately lacks NodeDown/NodeUp.
+type faultBlindPolicy struct{ ctx *Context }
+
+func (p *faultBlindPolicy) Name() string           { return "blind" }
+func (p *faultBlindPolicy) Submit(j *workload.Job) { p.ctx.Collector.Rejected(j) }
+func (p *faultBlindPolicy) Drain()                 {}
+
+func TestRunFaultsValidation(t *testing.T) {
+	jobs := synthWorkload(t, 5, 0, 47)
+	bad := faults.High.Config(1, 1000)
+	bad.MTTR = -1
+	if _, err := Run(jobs, NewFCFSBF, RunConfig{Nodes: 16, Model: economy.Commodity, BasePrice: 1, Faults: &bad}); err == nil {
+		t.Error("invalid fault config accepted")
+	}
+	good := faults.High.Config(1, 1000)
+	blind := func(ctx *Context) Policy { return &faultBlindPolicy{ctx: ctx} }
+	if _, err := Run(jobs, blind, RunConfig{Nodes: 16, Model: economy.Commodity, BasePrice: 1, Faults: &good}); err == nil {
+		t.Error("fault-blind policy accepted under fault injection")
+	}
+	// A disabled config is fine for any policy.
+	var off faults.Config
+	if _, err := Run(jobs, blind, RunConfig{Nodes: 16, Model: economy.Commodity, BasePrice: 1, Faults: &off}); err != nil {
+		t.Errorf("disabled fault config refused: %v", err)
+	}
+}

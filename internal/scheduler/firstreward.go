@@ -37,8 +37,10 @@ type firstReward struct {
 	cluster *cluster.SpaceShared
 	queue   []*workload.Job
 	// outstanding tracks accepted-but-unfinished jobs, whose penalty rates
-	// feed the opportunity-cost sum of the admission test.
-	outstanding map[*workload.Job]bool
+	// feed the opportunity-cost sum of the admission test. Kept sorted by
+	// job ID: the sum is a float accumulation, and its rounding must not
+	// depend on insertion history or map iteration order.
+	outstanding []*workload.Job
 
 	alpha, discount, threshold float64
 	// bounded caps each job's penalty exposure at its own budget (Irwin et
@@ -56,12 +58,11 @@ func NewFirstReward(ctx *Context) Policy {
 // slack-threshold ablation bench sweeps these.
 func NewFirstRewardTuned(ctx *Context, alpha, discount, threshold float64) Policy {
 	return &firstReward{
-		ctx:         ctx,
-		cluster:     newSpaceCluster(ctx),
-		outstanding: make(map[*workload.Job]bool),
-		alpha:       alpha,
-		discount:    discount,
-		threshold:   threshold,
+		ctx:       ctx,
+		cluster:   newSpaceCluster(ctx),
+		alpha:     alpha,
+		discount:  discount,
+		threshold: threshold,
 	}
 }
 
@@ -89,9 +90,10 @@ func (f *firstReward) presentValue(j *workload.Job, rpt float64) float64 {
 // the penalty exposure of delaying everyone else by this job's remaining
 // processing time. Under bounded penalties each term is capped at the
 // delayed job's budget — the most that job can ever cost the provider.
+// Summed in job-ID order (the slice invariant) for reproducible rounding.
 func (f *firstReward) opportunityCost(rpt float64) float64 {
 	sum := 0.0
-	for k := range f.outstanding {
+	for _, k := range f.outstanding {
 		exposure := k.PenaltyRate * rpt
 		if f.bounded && exposure > k.Budget {
 			exposure = k.Budget
@@ -99,6 +101,25 @@ func (f *firstReward) opportunityCost(rpt float64) float64 {
 		sum += exposure
 	}
 	return sum
+}
+
+// addOutstanding inserts j preserving the ID-sorted invariant.
+func (f *firstReward) addOutstanding(j *workload.Job) {
+	i := sort.Search(len(f.outstanding), func(k int) bool { return f.outstanding[k].ID >= j.ID })
+	f.outstanding = append(f.outstanding, nil)
+	copy(f.outstanding[i+1:], f.outstanding[i:])
+	f.outstanding[i] = j
+}
+
+// dropOutstanding removes j, if present.
+func (f *firstReward) dropOutstanding(j *workload.Job) {
+	kept := f.outstanding[:0]
+	for _, k := range f.outstanding {
+		if k != j {
+			kept = append(kept, k)
+		}
+	}
+	f.outstanding = kept
 }
 
 // reward orders the execution queue: ((α·PV) − ((1−α)·cost))/RPT.
@@ -121,15 +142,37 @@ func (f *firstReward) Submit(j *workload.Job) {
 		return
 	}
 	f.ctx.Collector.Accepted(j)
-	f.outstanding[j] = true
+	f.addOutstanding(j)
 	f.queue = append(f.queue, j)
 	f.schedule()
 }
 
 func (f *firstReward) Drain() {
-	// Accepted jobs can always start once the machine empties (widths are
-	// validated against the machine), so the queue is empty by the time
-	// the event loop drains; this is a defensive no-op.
+	// Without faults accepted jobs always start once the machine empties
+	// (widths are validated against the machine); under fault injection,
+	// jobs wider than the surviving machine can be stranded.
+	now := float64(f.ctx.Engine.Now())
+	for _, j := range f.queue {
+		f.dropOutstanding(j)
+		writeOff(f.ctx.Collector, j, now)
+	}
+	f.queue = nil
+}
+
+// NodeDown fails a node: its resident job is requeued for a restart. The
+// job stays outstanding — its penalty exposure still burdens the admission
+// test — and keeps its acceptance; only completion settles it.
+func (f *firstReward) NodeDown(node int) {
+	if victim := f.cluster.Fail(node); victim != nil {
+		f.queue = append(f.queue, victim)
+	}
+	f.schedule()
+}
+
+// NodeUp repairs a node; the restored capacity may start queued jobs.
+func (f *firstReward) NodeUp(node int) {
+	f.cluster.Repair(node)
+	f.schedule()
 }
 
 // schedule starts queued jobs strictly in reward order (no backfilling): a
@@ -155,7 +198,7 @@ func (f *firstReward) schedule() {
 
 func (f *firstReward) onFinish(j *workload.Job) {
 	now := float64(f.ctx.Engine.Now())
-	delete(f.outstanding, j)
+	f.dropOutstanding(j)
 	utility := economy.BidUtility(j, now)
 	if f.bounded {
 		utility = economy.BoundedBidUtility(j, now)

@@ -104,6 +104,21 @@ func (l *libraPolicy) Utilization() float64 { return l.ts.Utilization() }
 
 func (l *libraPolicy) Drain() {} // no queue: every job is settled at submission
 
+// NodeDown fails a node, killing every job holding a share on it. Libra has
+// no queue to restart from — admission committed the nodes at submission —
+// so victims are written off terminally: SLA lost, utility zero, and any
+// quoted commodity charge forfeited.
+func (l *libraPolicy) NodeDown(node int) {
+	now := float64(l.ctx.Engine.Now())
+	for _, j := range l.ts.Fail(node) {
+		delete(l.charge, j)
+		l.ctx.Collector.Killed(j, now, 0)
+	}
+}
+
+// NodeUp repairs a node; its capacity becomes bookable again.
+func (l *libraPolicy) NodeUp(node int) { l.ts.Repair(node) }
+
 func (l *libraPolicy) Submit(j *workload.Job) {
 	share := j.Estimate / j.Deadline
 	if share > 1 {

@@ -71,8 +71,29 @@ func (n *noAdmission) Submit(j *workload.Job) {
 }
 
 func (n *noAdmission) Drain() {
-	// Every accepted job starts once the machine frees up; nothing can be
-	// left at drain time.
+	// Without faults every accepted job starts once the machine frees up;
+	// under fault injection, jobs wider than the surviving machine can be
+	// stranded and are written off here.
+	now := float64(n.ctx.Engine.Now())
+	for _, j := range n.queue {
+		writeOff(n.ctx.Collector, j, now)
+	}
+	n.queue = nil
+}
+
+// NodeDown fails a node and requeues its resident job unconditionally —
+// there is no admission control to refuse the restart.
+func (n *noAdmission) NodeDown(node int) {
+	if victim := n.cluster.Fail(node); victim != nil {
+		n.queue = append(n.queue, victim)
+	}
+	n.schedule()
+}
+
+// NodeUp repairs a node; the restored capacity may start queued jobs.
+func (n *noAdmission) NodeUp(node int) {
+	n.cluster.Repair(node)
+	n.schedule()
 }
 
 func (n *noAdmission) schedule() {

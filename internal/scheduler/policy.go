@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/economy"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -67,6 +68,32 @@ type Policy interface {
 // machine utilization; Run copies it into the report.
 type UtilizationReporter interface {
 	Utilization() float64
+}
+
+// FaultInjectable is implemented by policies that can absorb node failure
+// and repair events. NodeDown fails the node in the policy's cluster and
+// handles the victims per policy (requeue for restart, or write off);
+// NodeUp returns the node to service. Run refuses to inject faults into a
+// policy that does not implement this.
+type FaultInjectable interface {
+	NodeDown(node int)
+	NodeUp(node int)
+}
+
+// writeOff records a queued job the policy is giving up on — typically at
+// drain or admission purge under fault injection: killed if it had started
+// (a failure victim that could not be restarted), abandoned if accepted but
+// never run, plainly rejected otherwise.
+func writeOff(c *metrics.Collector, j *workload.Job, now float64) {
+	o := c.Outcome(j)
+	switch {
+	case o.Started:
+		c.Killed(j, now, 0)
+	case o.Accepted:
+		c.Abandoned(j, now)
+	default:
+		c.Rejected(j)
+	}
 }
 
 // Factory builds a fresh policy instance bound to a run context.
@@ -135,6 +162,10 @@ type RunConfig struct {
 	// Prices optionally varies the commodity base price over time (see
 	// Context.Prices). Nil means flat.
 	Prices economy.PriceSchedule
+	// Faults optionally injects a deterministic node failure/repair process
+	// (see internal/faults). Nil or disabled means the paper's original
+	// never-failing machine. The policy must implement FaultInjectable.
+	Faults *faults.Config
 }
 
 // DefaultRunConfig returns the paper's machine and pricing defaults for the
@@ -190,6 +221,30 @@ func Run(jobs []*workload.Job, factory Factory, cfg RunConfig) (metrics.Report, 
 			collector.Submitted(j)
 			policy.Submit(j)
 		})
+	}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		fi, ok := policy.(FaultInjectable)
+		if !ok {
+			return metrics.Report{}, fmt.Errorf("scheduler: policy %s cannot absorb fault injection", policy.Name())
+		}
+		events, err := faults.Generate(*cfg.Faults, cfg.Nodes)
+		if err != nil {
+			return metrics.Report{}, err
+		}
+		for _, ev := range events {
+			ev := ev
+			verb := "repair"
+			if ev.Down {
+				verb = "fail"
+			}
+			engine.MustSchedule(sim.Time(ev.Time), fmt.Sprintf("%s node %d", verb, ev.Node), func() {
+				if ev.Down {
+					fi.NodeDown(ev.Node)
+				} else {
+					fi.NodeUp(ev.Node)
+				}
+			})
+		}
 	}
 	engine.Run()
 	policy.Drain()

@@ -50,8 +50,31 @@ func (q *qops) Submit(j *workload.Job) {
 }
 
 func (q *qops) Drain() {
-	// Accepted jobs always start once the machine empties; nothing can
-	// remain queued when the event loop drains.
+	// Without faults accepted jobs always start once the machine empties;
+	// under fault injection, jobs wider than the surviving machine can be
+	// stranded and are written off here.
+	now := float64(q.ctx.Engine.Now())
+	for _, j := range q.queue {
+		writeOff(q.ctx.Collector, j, now)
+	}
+	q.queue = nil
+}
+
+// NodeDown fails a node: its resident job is requeued for a restart in EDF
+// order. The schedulability guarantee does not survive failures — the
+// victim may now miss its deadline — but acceptance is already recorded, so
+// the job runs on and the miss counts against reliability.
+func (q *qops) NodeDown(node int) {
+	if victim := q.cluster.Fail(node); victim != nil {
+		q.queue = append(q.queue, victim)
+	}
+	q.schedule()
+}
+
+// NodeUp repairs a node; the restored capacity may start queued jobs.
+func (q *qops) NodeUp(node int) {
+	q.cluster.Repair(node)
+	q.schedule()
 }
 
 // edfSort orders jobs by absolute deadline, then ID.

@@ -63,6 +63,30 @@ func Exponential(rng *rand.Rand, mean float64) float64 {
 	return rng.ExpFloat64() * mean
 }
 
+// Weibull samples a Weibull distribution with the given shape k and scale λ
+// by inverse-CDF: λ·(−ln(1−U))^(1/k). Shape 1 recovers the exponential;
+// shape < 1 gives a decreasing hazard (bursty failures), shape > 1 an
+// increasing hazard (wear-out). The failure model draws its inter-failure
+// and repair times from this.
+func Weibull(rng *rand.Rand, shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic(fmt.Sprintf("stats: Weibull shape %v / scale %v must be positive", shape, scale))
+	}
+	// 1−U ∈ (0,1] for U ∈ [0,1), so the log argument is never zero.
+	return scale * math.Pow(-math.Log(1-rng.Float64()), 1/shape)
+}
+
+// WeibullFromMean derives the scale so the Weibull with the given shape has
+// the given mean (mean = scale·Γ(1+1/k)), then samples it. The failure
+// model is calibrated by mean time between failures / to repair, which this
+// converts to the distribution's natural parameter.
+func WeibullFromMean(rng *rand.Rand, shape, mean float64) float64 {
+	if mean <= 0 {
+		panic(fmt.Sprintf("stats: WeibullFromMean mean %v <= 0", mean))
+	}
+	return Weibull(rng, shape, mean/math.Gamma(1+1/shape))
+}
+
 // Choice returns true with probability p.
 func Choice(rng *rand.Rand, p float64) bool {
 	return rng.Float64() < p

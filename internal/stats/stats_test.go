@@ -236,3 +236,48 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestWeibullMomentsAndShape(t *testing.T) {
+	rng := NewRand(11)
+	// Shape 1 is exponential: mean equals scale.
+	sum := 0.0
+	n := 50000
+	for i := 0; i < n; i++ {
+		sum += Weibull(rng, 1, 300)
+	}
+	if mean := sum / float64(n); math.Abs(mean-300) > 10 {
+		t.Errorf("Weibull(k=1, λ=300) mean = %v, want ~300", mean)
+	}
+	// WeibullFromMean hits the requested mean for non-trivial shapes.
+	for _, shape := range []float64{0.7, 2.0} {
+		sum = 0
+		for i := 0; i < n; i++ {
+			v := WeibullFromMean(rng, shape, 1000)
+			if v < 0 {
+				t.Fatalf("negative Weibull draw %v", v)
+			}
+			sum += v
+		}
+		if mean := sum / float64(n); math.Abs(mean-1000)/1000 > 0.05 {
+			t.Errorf("WeibullFromMean(k=%v) mean = %v, want ~1000", shape, mean)
+		}
+	}
+}
+
+func TestWeibullPanicsOnBadParams(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zeroShape": func() { Weibull(NewRand(1), 0, 1) },
+		"zeroScale": func() { Weibull(NewRand(1), 1, 0) },
+		"zeroMean":  func() { WeibullFromMean(NewRand(1), 1, 0) },
+	} {
+		fn := fn
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
