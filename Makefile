@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot cover cover-check bench fuzz results examples clean verify lint fmt-check
+.PHONY: all build vet test race race-hot cover cover-check bench bench-capture bench-diff fuzz fuzz-sim results examples clean verify lint fmt-check
 
 all: build vet test
 
@@ -54,12 +54,30 @@ cover-check:
 		$$2 ~ /internal\/cluster$$/ && $$5+0 < 95 { print "FAIL: internal/cluster coverage " $$5 " below 95% floor"; bad=1 } \
 		END { exit bad }'
 
-# One benchmark iteration per table/figure/ablation: fast sanity pass.
+# One benchmark iteration per table/figure/ablation: fast sanity pass,
+# then the in-process throughput probes (kernel, cluster, suite) as JSON
+# on stdout via cmd/benchjson.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x ./...
+	$(GO) run ./cmd/benchjson -config short
+
+# Capture a full baseline (probes + bench_test.go suite) to OUT, and diff
+# two captures against the committed trajectory. See EXPERIMENTS.md.
+OUT ?= BENCH_local.json
+bench-capture:
+	$(GO) run ./cmd/benchjson -config short -suite -out $(OUT)
+
+OLD ?= BENCH_PR4.json
+NEW ?= BENCH_local.json
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff $(OLD) $(NEW)
 
 fuzz:
 	$(GO) test ./internal/workload/ -run FuzzReadSWF -fuzz FuzzReadSWF -fuzztime 30s
+
+# Short fuzz of the event kernel's pool/heap invariants.
+fuzz-sim:
+	$(GO) test ./internal/sim/ -run FuzzEngine -fuzz FuzzEngine -fuzztime 30s
 
 # The paper-scale evaluation: 2880 simulations, a few minutes.
 results:

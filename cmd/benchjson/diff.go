@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseGoBench parses standard `go test -bench -benchmem` output into
+// Bench entries. Lines that are not benchmark results (package headers,
+// PASS/ok, reported metrics of failed runs) are skipped. The GOMAXPROCS
+// suffix ("-8") is stripped so captures from differently sized machines
+// stay comparable.
+func ParseGoBench(out string) []Bench {
+	var benches []Bench
+	for _, line := range strings.Split(out, "\n") {
+		b, ok := parseBenchLine(line)
+		if ok {
+			benches = append(benches, b)
+		}
+	}
+	return benches
+}
+
+// parseBenchLine parses one "BenchmarkX-8  20  123 ns/op  4 B/op  1
+// allocs/op  97.0 SLA%" line.
+func parseBenchLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") ||
+		len(fields[0]) == len("Benchmark") {
+		return Bench{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: name, Iters: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+			seen = true
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Extra == nil {
+				b.Extra = make(map[string]float64)
+			}
+			b.Extra[unit] = v
+		}
+	}
+	if !seen {
+		return Bench{}, false
+	}
+	return b, true
+}
+
+// deltaPct returns the relative change from old to new as a fraction
+// (+0.25 = 25% more). A zero old value with a non-zero new value reads as
+// +Inf-like growth, capped for display; zero to zero is zero.
+func deltaPct(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 99.99
+	}
+	return (new - old) / old
+}
+
+// writeDiff prints the bench-by-bench comparison and returns the number of
+// shared benches regressing beyond the threshold on ns/op or allocs/op.
+func writeDiff(w io.Writer, oldPath, newPath string, old, cur Capture, threshold float64) int {
+	oldBy := make(map[string]Bench, len(old.Benches))
+	for _, b := range old.Benches {
+		oldBy[b.Name] = b
+	}
+	var names []string
+	curBy := make(map[string]Bench, len(cur.Benches))
+	for _, b := range cur.Benches {
+		curBy[b.Name] = b
+		if _, ok := oldBy[b.Name]; ok {
+			names = append(names, b.Name)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "benchjson diff: %s -> %s (threshold %.0f%%)\n", oldPath, newPath, threshold*100)
+	fmt.Fprintf(w, "%-52s %14s %14s %9s %9s\n", "bench", "ns/op", "allocs/op", "Δns", "Δallocs")
+	regressed := 0
+	for _, name := range names {
+		o, n := oldBy[name], curBy[name]
+		dns := deltaPct(o.NsPerOp, n.NsPerOp)
+		dal := deltaPct(o.AllocsPerOp, n.AllocsPerOp)
+		mark := ""
+		if dns > threshold || dal > threshold {
+			mark = "  REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(w, "%-52s %14.0f %14.1f %8.1f%% %8.1f%%%s\n",
+			name, n.NsPerOp, n.AllocsPerOp, dns*100, dal*100, mark)
+	}
+	var onlyOld, onlyNew []string
+	for _, b := range old.Benches {
+		if _, ok := curBy[b.Name]; !ok {
+			onlyOld = append(onlyOld, b.Name)
+		}
+	}
+	for _, b := range cur.Benches {
+		if _, ok := oldBy[b.Name]; !ok {
+			onlyNew = append(onlyNew, b.Name)
+		}
+	}
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	if len(onlyOld) > 0 {
+		fmt.Fprintf(w, "only in %s: %s\n", oldPath, strings.Join(onlyOld, ", "))
+	}
+	if len(onlyNew) > 0 {
+		fmt.Fprintf(w, "only in %s: %s\n", newPath, strings.Join(onlyNew, ", "))
+	}
+	fmt.Fprintf(w, "%d shared bench(es), %d regressed beyond %.0f%%\n",
+		len(names), regressed, threshold*100)
+	return regressed
+}

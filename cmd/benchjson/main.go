@@ -1,0 +1,185 @@
+// Command benchjson measures the repository's hot paths and records the
+// numbers as machine-comparable JSON, seeding the BENCH_<n>.json performance
+// trajectory that ROADMAP's "as fast as the hardware allows" north star
+// asks for.
+//
+// Two modes:
+//
+//	benchjson [-config short|paper] [-suite] [-out BENCH_X.json]
+//	    runs the in-process throughput probes (event kernel, cluster
+//	    accounting, experiment suite) and, with -suite, the full
+//	    bench_test.go suite via `go test -bench`, then writes one JSON
+//	    document with ns/op, allocs/op, B/op and throughput extras
+//	    (events/s, jobs/s) per bench.
+//
+//	benchjson -diff OLD.json NEW.json [-threshold 0.10] [-gate]
+//	    compares two captures bench by bench and prints the deltas.
+//	    With -gate, exits non-zero when any shared bench regresses beyond
+//	    the threshold on ns/op or allocs/op; without it the diff is
+//	    informational (the CI wiring).
+//
+// The tool is stdlib-only and takes all timing through testing.Benchmark —
+// operator-side wall time never leaks into simulation code, and no
+// wall-clock read or global rand appears in this package (repolint
+// enforces both).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// Bench is one measured benchmark in a capture.
+type Bench struct {
+	Name        string             `json:"name"`
+	Iters       int                `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Capture is the top-level JSON document.
+type Capture struct {
+	Schema  string  `json:"schema"`
+	Config  string  `json:"config"`
+	Go      string  `json:"go"`
+	Benches []Bench `json:"benches"`
+}
+
+const schemaVersion = "benchjson/1"
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// errGate is returned when -gate trips; main maps it to exit 1 like any
+// other error, but with the regressions already printed.
+var errGate = fmt.Errorf("regression gate tripped")
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out       = fs.String("out", "", "write the capture to this file (default stdout)")
+		config    = fs.String("config", "short", "probe scale: short (CI-sized) or paper (adds 5000-job probes)")
+		suite     = fs.Bool("suite", false, "also run the bench_test.go suite via `go test -bench` and fold it in")
+		benchRe   = fs.String("bench", ".", "bench regexp passed to `go test -bench` in -suite mode")
+		packages  = fs.String("packages", "./...", "packages passed to `go test` in -suite mode")
+		benchtime = fs.String("benchtime", "1x", "benchtime passed to `go test` in -suite mode")
+		diff      = fs.Bool("diff", false, "compare two captures: benchjson -diff OLD.json NEW.json")
+		threshold = fs.Float64("threshold", 0.10, "regression threshold (fraction) for -diff")
+		gate      = fs.Bool("gate", false, "with -diff, exit non-zero on regressions beyond the threshold")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *diff {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-diff wants exactly two files, got %d", fs.NArg())
+		}
+		old, err := readCapture(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		cur, err := readCapture(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		regressed := writeDiff(stdout, fs.Arg(0), fs.Arg(1), old, cur, *threshold)
+		if *gate && regressed > 0 {
+			return fmt.Errorf("%w: %d bench(es) beyond %.0f%%", errGate, regressed, *threshold*100)
+		}
+		return nil
+	}
+
+	if *config != "short" && *config != "paper" {
+		return fmt.Errorf("unknown -config %q (want short or paper)", *config)
+	}
+	cap := Capture{Schema: schemaVersion, Config: *config, Go: runtime.Version()}
+	for _, p := range probes(*config) {
+		fmt.Fprintf(stderr, "probe %s...\n", p.name)
+		r := testing.Benchmark(p.run)
+		cap.Benches = append(cap.Benches, benchFromResult(p.name, r))
+	}
+	if *suite {
+		fmt.Fprintf(stderr, "suite: go test -bench %s -benchtime %s %s\n", *benchRe, *benchtime, *packages)
+		parsed, err := runSuite(*benchRe, *benchtime, *packages, stderr)
+		if err != nil {
+			return err
+		}
+		cap.Benches = append(cap.Benches, parsed...)
+	}
+	sort.Slice(cap.Benches, func(i, j int) bool { return cap.Benches[i].Name < cap.Benches[j].Name })
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cap)
+}
+
+// benchFromResult converts a testing.BenchmarkResult into the JSON shape.
+// Throughput extras reported via b.ReportMetric ride along in Extra.
+func benchFromResult(name string, r testing.BenchmarkResult) Bench {
+	b := Bench{
+		Name:        name,
+		Iters:       r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: float64(r.MemAllocs) / float64(r.N),
+	}
+	if len(r.Extra) > 0 {
+		b.Extra = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra { //lint:allow maporder — copying into a map; JSON encoding sorts keys
+			b.Extra[k] = v
+		}
+	}
+	return b
+}
+
+func readCapture(path string) (Capture, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Capture{}, err
+	}
+	var c Capture
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Capture{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if c.Schema != schemaVersion {
+		return Capture{}, fmt.Errorf("%s: schema %q, want %q", path, c.Schema, schemaVersion)
+	}
+	return c, nil
+}
+
+// runSuite executes the repository's bench_test.go suite through the go
+// tool and parses the standard benchmark output format.
+func runSuite(benchRe, benchtime, packages string, stderr io.Writer) ([]Bench, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", benchRe, "-benchmem", "-benchtime", benchtime, packages)
+	cmd.Stderr = stderr
+	outPipe, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	return ParseGoBench(string(outPipe)), nil
+}

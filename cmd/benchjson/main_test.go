@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	for _, tc := range []struct {
+		line string
+		ok   bool
+		want Bench
+	}{
+		{
+			line: "BenchmarkEngineScheduleRun-8  \t 1234\t 98765 ns/op\t 120 B/op\t 3 allocs/op",
+			ok:   true,
+			want: Bench{Name: "BenchmarkEngineScheduleRun", Iters: 1234, NsPerOp: 98765, BytesPerOp: 120, AllocsPerOp: 3},
+		},
+		{
+			line: "BenchmarkPaperScaleSimulation/Libra-4   1  503556000 ns/op  97.00 SLA%  55.30 profit%",
+			ok:   true,
+			want: Bench{Name: "BenchmarkPaperScaleSimulation/Libra", Iters: 1, NsPerOp: 503556000,
+				Extra: map[string]float64{"SLA%": 97, "profit%": 55.3}},
+		},
+		{line: "ok  \trepro\t12.3s", ok: false},
+		{line: "PASS", ok: false},
+		{line: "pkg: repro", ok: false},
+		{line: "", ok: false},
+		{line: "BenchmarkNoResult-8", ok: false},
+		{line: "Benchmark 12 34 ns/op", ok: false},
+	} {
+		got, ok := parseBenchLine(tc.line)
+		if ok != tc.ok {
+			t.Errorf("parseBenchLine(%q) ok = %v, want %v", tc.line, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if got.Name != tc.want.Name || got.Iters != tc.want.Iters ||
+			got.NsPerOp != tc.want.NsPerOp || got.BytesPerOp != tc.want.BytesPerOp ||
+			got.AllocsPerOp != tc.want.AllocsPerOp {
+			t.Errorf("parseBenchLine(%q) = %+v, want %+v", tc.line, got, tc.want)
+		}
+		for k, v := range tc.want.Extra {
+			if got.Extra[k] != v {
+				t.Errorf("parseBenchLine(%q) extra[%q] = %v, want %v", tc.line, k, got.Extra[k], v)
+			}
+		}
+	}
+}
+
+func TestParseGoBenchMultiLine(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkA-8	10	100 ns/op	8 B/op	1 allocs/op
+BenchmarkB-8	20	200 ns/op
+PASS
+ok	repro	1.2s
+`
+	got := ParseGoBench(out)
+	if len(got) != 2 || got[0].Name != "BenchmarkA" || got[1].Name != "BenchmarkB" {
+		t.Fatalf("ParseGoBench = %+v, want BenchmarkA and BenchmarkB", got)
+	}
+}
+
+func capFixture(benches ...Bench) Capture {
+	return Capture{Schema: schemaVersion, Config: "short", Go: "gotest", Benches: benches}
+}
+
+func writeCaptureFile(t *testing.T, path string, c Capture) {
+	t.Helper()
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteDiffCountsRegressions(t *testing.T) {
+	old := capFixture(
+		Bench{Name: "sim/a", NsPerOp: 100, AllocsPerOp: 10},
+		Bench{Name: "sim/b", NsPerOp: 100, AllocsPerOp: 10},
+		Bench{Name: "sim/gone", NsPerOp: 1, AllocsPerOp: 1},
+	)
+	cur := capFixture(
+		Bench{Name: "sim/a", NsPerOp: 50, AllocsPerOp: 0},   // improved
+		Bench{Name: "sim/b", NsPerOp: 150, AllocsPerOp: 10}, // regressed 50%
+		Bench{Name: "sim/new", NsPerOp: 1, AllocsPerOp: 1},
+	)
+	var buf bytes.Buffer
+	n := writeDiff(&buf, "old.json", "new.json", old, cur, 0.10)
+	if n != 1 {
+		t.Fatalf("writeDiff regressions = %d, want 1", n)
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSED", "sim/gone", "sim/new", "2 shared bench(es)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeltaPct(t *testing.T) {
+	for _, tc := range []struct {
+		old, new, want float64
+	}{
+		{100, 150, 0.5},
+		{100, 50, -0.5},
+		{0, 0, 0},
+		{0, 5, 99.99},
+	} {
+		if got := deltaPct(tc.old, tc.new); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("deltaPct(%v, %v) = %v, want %v", tc.old, tc.new, got, tc.want)
+		}
+	}
+}
+
+func TestRunDiffModeAndGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeCaptureFile(t, oldPath, capFixture(Bench{Name: "sim/a", NsPerOp: 100, AllocsPerOp: 4}))
+	writeCaptureFile(t, newPath, capFixture(Bench{Name: "sim/a", NsPerOp: 400, AllocsPerOp: 4}))
+
+	var out, errw bytes.Buffer
+	// Informational diff: regressions reported, no error.
+	if err := run([]string{"-diff", oldPath, newPath}, &out, &errw); err != nil {
+		t.Fatalf("informational diff errored: %v", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("diff output missing REGRESSED:\n%s", out.String())
+	}
+	// Gated diff: the 4x regression must fail.
+	if err := run([]string{"-diff", "-gate", oldPath, newPath}, &out, &errw); err == nil {
+		t.Fatal("gated diff of a 4x regression succeeded, want error")
+	}
+	// Gated diff within threshold passes.
+	if err := run([]string{"-diff", "-gate", "-threshold", "5.0", oldPath, newPath}, &out, &errw); err != nil {
+		t.Fatalf("gated diff within threshold errored: %v", err)
+	}
+}
+
+func TestRunDiffRejectsBadInput(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-diff", "only-one.json"}, &out, &errw); err == nil {
+		t.Error("diff with one file succeeded, want error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(dir, "good.json")
+	writeCaptureFile(t, good, capFixture())
+	if err := run([]string{"-diff", bad, good}, &out, &errw); err == nil {
+		t.Error("diff with wrong schema succeeded, want error")
+	}
+	if err := run([]string{"-config", "bogus"}, &out, &errw); err == nil {
+		t.Error("unknown config succeeded, want error")
+	}
+}
+
+func TestProbeNamesStableAndUnique(t *testing.T) {
+	short := probes("short")
+	paper := probes("paper")
+	if len(paper) != len(short)+1 {
+		t.Fatalf("paper config has %d probes, short %d; want exactly one extra", len(paper), len(short))
+	}
+	seen := map[string]bool{}
+	for _, p := range paper {
+		if p.name == "" || p.run == nil {
+			t.Fatalf("probe %+v incomplete", p)
+		}
+		if seen[p.name] {
+			t.Fatalf("duplicate probe name %q", p.name)
+		}
+		seen[p.name] = true
+	}
+	// The diff gate keys on these prefixes; keep the kernel family present.
+	kernel := 0
+	for name := range seen {
+		if strings.HasPrefix(name, "sim/") {
+			kernel++
+		}
+	}
+	if kernel < 3 {
+		t.Fatalf("only %d sim/ kernel probes, want >= 3", kernel)
+	}
+}
+
+// TestCaptureRoundTrip pins the JSON schema: a capture survives
+// marshal/unmarshal bit-for-bit on the fields the diff reads.
+func TestCaptureRoundTrip(t *testing.T) {
+	c := capFixture(Bench{
+		Name: "sim/a", Iters: 7, NsPerOp: 123.5, BytesPerOp: 64, AllocsPerOp: 2,
+		Extra: map[string]float64{"events/s": 1e6},
+	})
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Capture
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != c.Schema || len(back.Benches) != 1 {
+		t.Fatalf("round trip = %+v, want %+v", back, c)
+	}
+	got, want := back.Benches[0], c.Benches[0]
+	if got.Name != want.Name || got.Iters != want.Iters || got.NsPerOp != want.NsPerOp ||
+		got.BytesPerOp != want.BytesPerOp || got.AllocsPerOp != want.AllocsPerOp {
+		t.Fatalf("round trip = %+v, want %+v", got, want)
+	}
+	if got.Extra["events/s"] != 1e6 {
+		t.Fatalf("extra lost in round trip: %+v", got)
+	}
+}

@@ -1,0 +1,269 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/economy"
+	"repro/internal/experiment"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// probe is one in-process benchmark: a name stable across captures and a
+// function measured with testing.Benchmark (all wall-clock reads stay
+// inside the testing package).
+type probe struct {
+	name string
+	run  func(*testing.B)
+}
+
+// probes returns the probe set for a config. Names are namespaced so the
+// diff gate can reason about families: sim/* is the event kernel,
+// cluster/* the accounting structures, suite/* end-to-end throughput.
+// The paper config appends the 5000-job paper-scale probes.
+func probes(config string) []probe {
+	ps := []probe{
+		{"sim/steady-chain", probeEngineSteadyChain},
+		{"sim/steady-wave/depth=1024", probeEngineSteadyWave},
+		{"sim/schedule-cancel/depth=256", probeEngineScheduleCancel},
+		{"sim/mixed-heap/depth=4096", probeEngineMixedHeap},
+		{"cluster/timeshared-churn/nodes=32", probeTimeSharedChurn},
+		{"cluster/spaceshared-earliest/nodes=128", probeSpaceSharedEarliest},
+		{"suite/commodity-small/jobs=150", probeSuiteSmall},
+	}
+	if config == "paper" {
+		ps = append(ps, probe{"suite/paper-scale/jobs=5000", probePaperScale})
+	}
+	return ps
+}
+
+// lcg is a tiny deterministic generator for probe shapes; probes must not
+// touch math/rand's global source (repolint: globalrand) and need no
+// statistical quality, just spread.
+type lcg uint64
+
+func (l *lcg) next() uint64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return uint64(*l) >> 33
+}
+
+func (l *lcg) float() float64 { return float64(l.next()%1_000_000) / 1_000_000 }
+
+// probeEngineSteadyChain measures the schedule→dispatch cycle at heap
+// depth 1: each fired handler schedules its successor. One op = one event
+// through the kernel. This is the purest view of per-event overhead
+// (allocation, heap push/pop).
+func probeEngineSteadyChain(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	remaining := b.N
+	var spawn func()
+	spawn = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		e.MustSchedule(e.Now()+1, "probe chain", spawn)
+	}
+	b.ResetTimer()
+	spawn()
+	e.Run()
+	b.StopTimer()
+	reportEventsPerSec(b, e)
+}
+
+// probeEngineSteadyWave keeps ~1024 events pending at all times: each
+// handler schedules a replacement one tick out, so pops work against a
+// realistically deep heap with heavy (time, seq) tie-breaking.
+func probeEngineSteadyWave(b *testing.B) {
+	const depth = 1024
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	remaining := b.N
+	var spawn func()
+	spawn = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		e.MustSchedule(e.Now()+1, "probe wave", spawn)
+	}
+	b.ResetTimer()
+	for i := 0; i < depth && remaining > 0; i++ {
+		spawn()
+	}
+	e.Run()
+	b.StopTimer()
+	reportEventsPerSec(b, e)
+}
+
+// probeEngineScheduleCancel measures the schedule→cancel cycle against a
+// 256-deep background heap — the TimeShared completion-event reschedule
+// pattern, the kernel's hottest cancel path.
+func probeEngineScheduleCancel(b *testing.B) {
+	const depth = 256
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	var g lcg = 7
+	for i := 0; i < depth; i++ {
+		e.MustSchedule(sim.Time(1e9+g.float()*1e9), "probe background", func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.MustSchedule(sim.Time(1+g.float()*1e6), "probe victim", func() {})
+		e.Cancel(ev)
+	}
+}
+
+// probeEngineMixedHeap schedules scattered batches of 4096 events and
+// drains them, mixing siftUp and siftDown against a churning heap.
+func probeEngineMixedHeap(b *testing.B) {
+	const depth = 4096
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	var g lcg = 42
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		batch := depth
+		if b.N-done < batch {
+			batch = b.N - done
+		}
+		base := e.Now()
+		for i := 0; i < batch; i++ {
+			e.MustSchedule(base+sim.Time(g.float()*1000), "probe mixed", func() {})
+		}
+		e.Run()
+		done += batch
+	}
+	b.StopTimer()
+	reportEventsPerSec(b, e)
+}
+
+func reportEventsPerSec(b *testing.B, e *sim.Engine) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(e.Fired())/s, "events/s")
+	}
+}
+
+// probeTimeSharedChurn pushes b.N jobs through a 32-node proportional-share
+// cluster with overlapping lifetimes, mixed widths and shares, and a slice
+// of lapsing deadlines — the Libra-family hot path (booking, reweighting,
+// completion rescheduling).
+func probeTimeSharedChurn(b *testing.B) {
+	const nodes = 32
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	ts := cluster.NewTimeShared(e, nodes)
+	var g lcg = 3
+	started := 0
+	for i := 0; i < b.N; i++ {
+		id := i + 1
+		at := float64(i) * 2
+		procs := 1 + int(g.next()%4)
+		runtime := 20 + g.float()*200
+		share := 0.1 + g.float()*0.4
+		deadline := runtime * (0.8 + g.float()) // ~20% lapse before completing
+		e.MustSchedule(sim.Time(at), "probe submit", func() {
+			cand := ts.CandidateNodes(share)
+			if len(cand) < procs {
+				return
+			}
+			j := &workload.Job{ID: id, Submit: at, Runtime: runtime,
+				Estimate: runtime, Procs: procs, Deadline: deadline}
+			started++
+			if err := ts.Start(j, share, cand[:procs], nil); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run()
+	b.StopTimer()
+	if started == 0 {
+		b.Fatal("degenerate probe: no job started")
+	}
+	reportEventsPerSec(b, e)
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(started)/s, "jobs/s")
+	}
+}
+
+// probeSpaceSharedEarliest measures the EASY-backfilling reservation
+// queries (EarliestAvailable, AvailableAt) against a 128-node machine with
+// ~96 running jobs — the per-submission cost every backfilling policy pays.
+func probeSpaceSharedEarliest(b *testing.B) {
+	const nodes = 128
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	ss := cluster.NewSpaceShared(e, nodes)
+	var g lcg = 11
+	for id := 1; ss.FreeProcs() > nodes/4; id++ {
+		procs := 1 + int(g.next()%3)
+		if procs > ss.FreeProcs() {
+			procs = ss.FreeProcs()
+		}
+		j := &workload.Job{ID: id, Runtime: 1e6 + g.float()*1e6,
+			Estimate: 1e6 + g.float()*1e6, Procs: procs}
+		if err := ss.Start(j, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	sink := sim.Time(0)
+	count := 0
+	for i := 0; i < b.N; i++ {
+		w := 1 + int(g.next())%nodes
+		at, err := ss.EarliestAvailable(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += at
+		count += ss.AvailableAt(at)
+	}
+	b.StopTimer()
+	if count == 0 && sink == 0 {
+		b.Fatal("degenerate probe: no availability answers")
+	}
+}
+
+// probeSuiteSmall runs one full (12 scenarios × 6 values × 5 policies)
+// commodity Set B suite at 150 jobs per cell — the end-to-end shape of the
+// paper's evaluation, worker pool included.
+func probeSuiteSmall(b *testing.B) {
+	cfg := experiment.DefaultSuiteConfig(economy.Commodity, true)
+	cfg.Jobs = 150
+	jobs := 0
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs += res.Cells() * cfg.Jobs
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(jobs)/s, "jobs/s")
+	}
+}
+
+// probePaperScale runs one 5000-job, 128-node simulation per Table V
+// policy — the paper's full trace subset, the unit of work behind every
+// figure.
+func probePaperScale(b *testing.B) {
+	jobs := 0
+	for i := 0; i < b.N; i++ {
+		for _, spec := range scheduler.Specs() {
+			cfg := experiment.DefaultSuiteConfig(spec.Models[0], true)
+			cfg.Jobs = 5000
+			if _, err := experiment.RunCell(cfg, experiment.DefaultParams(100), spec); err != nil {
+				b.Fatal(err)
+			}
+			jobs += cfg.Jobs
+		}
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(jobs)/s, "jobs/s")
+	}
+}

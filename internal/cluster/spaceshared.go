@@ -42,7 +42,7 @@ type SpaceJob struct {
 
 	// ev is the pending completion event, cancelled if a node failure
 	// kills the job first.
-	ev *sim.Event
+	ev sim.Event
 	// done is the completion callback, retained so Fail can report which
 	// callback was disarmed.
 	done func(*workload.Job)
@@ -66,6 +66,15 @@ type SpaceShared struct {
 	busyProcs int
 	downCount int
 	running   map[*workload.Job]*SpaceJob
+	// byEnd keeps the running jobs sorted by (EstEnd, ID), maintained
+	// incrementally on Start and release so the availability queries
+	// (EarliestAvailable, AvailableAt, Running) never rebuild and re-sort
+	// the set from the map. believedEnd clamps EstEnd up to now, which
+	// reorders only jobs inside the clamped prefix — and every answer
+	// drawn from that prefix is `now` regardless of its internal order,
+	// so iterating byEnd gives bitwise-identical results to sorting by
+	// believedEnd.
+	byEnd []*SpaceJob
 
 	// busyIntegral accumulates busy processor-seconds for Utilization.
 	busyIntegral float64
@@ -206,8 +215,9 @@ func (s *SpaceShared) Start(j *workload.Job, done func(finished *workload.Job)) 
 	s.free -= j.Procs
 	s.busyProcs += j.Procs
 	s.running[j] = sj
+	s.insertByEnd(sj)
 	sj.done = done
-	sj.ev = s.engine.MustSchedule(sj.ActualEnd, fmt.Sprintf("complete job %d", j.ID), func() {
+	sj.ev = s.engine.MustSchedule(sj.ActualEnd, "spaceshared completion", func() {
 		s.accrue()
 		s.release(sj)
 		if done != nil {
@@ -217,11 +227,40 @@ func (s *SpaceShared) Start(j *workload.Job, done func(finished *workload.Job)) 
 	return nil
 }
 
+// endLess is the (EstEnd, ID) strict order byEnd is kept in. Job IDs are
+// unique, so it is total: binary search locates any job exactly.
+func endLess(a, b *SpaceJob) bool {
+	if a.EstEnd != b.EstEnd {
+		return a.EstEnd < b.EstEnd
+	}
+	return a.Job.ID < b.Job.ID
+}
+
+// insertByEnd places sj into the sorted running list.
+func (s *SpaceShared) insertByEnd(sj *SpaceJob) {
+	i := sort.Search(len(s.byEnd), func(k int) bool { return !endLess(s.byEnd[k], sj) })
+	s.byEnd = append(s.byEnd, nil)
+	copy(s.byEnd[i+1:], s.byEnd[i:])
+	s.byEnd[i] = sj
+}
+
+// removeByEnd deletes sj from the sorted running list.
+func (s *SpaceShared) removeByEnd(sj *SpaceJob) {
+	i := sort.Search(len(s.byEnd), func(k int) bool { return !endLess(s.byEnd[k], sj) })
+	if i >= len(s.byEnd) || s.byEnd[i] != sj {
+		panic(fmt.Sprintf("cluster: job %d missing from byEnd index", sj.Job.ID))
+	}
+	copy(s.byEnd[i:], s.byEnd[i+1:])
+	s.byEnd[len(s.byEnd)-1] = nil
+	s.byEnd = s.byEnd[:len(s.byEnd)-1]
+}
+
 // release returns a finished or killed job's processors to the free pool.
 // Callers must accrue() first. Down nodes in the allocation (only possible
 // on the failure path) are not freed.
 func (s *SpaceShared) release(sj *SpaceJob) {
 	delete(s.running, sj.Job)
+	s.removeByEnd(sj)
 	for _, n := range sj.Nodes {
 		s.busy[n] = false
 		s.occupant[n] = nil
@@ -275,19 +314,10 @@ func (s *SpaceShared) Repair(i int) {
 }
 
 // Running returns the executing jobs, ordered by believed completion time
-// (then job ID) for deterministic iteration.
+// (then job ID) for deterministic iteration. The returned slice is a copy;
+// callers may reorder it freely.
 func (s *SpaceShared) Running() []*SpaceJob {
-	out := make([]*SpaceJob, 0, len(s.running))
-	for _, sj := range s.running { //lint:allow maporder — collected jobs are sorted by (EstEnd, ID) immediately below
-		out = append(out, sj)
-	}
-	sort.Slice(out, func(i, k int) bool {
-		if out[i].EstEnd != out[k].EstEnd {
-			return out[i].EstEnd < out[k].EstEnd
-		}
-		return out[i].Job.ID < out[k].Job.ID
-	})
-	return out
+	return append([]*SpaceJob(nil), s.byEnd...)
 }
 
 // believedEnd is when the scheduler expects sj to release its processors: a
@@ -313,16 +343,13 @@ func (s *SpaceShared) EarliestAvailable(procs int) (sim.Time, error) {
 	if procs <= s.free {
 		return s.engine.Now(), nil
 	}
+	// Walk byEnd directly. Its (EstEnd, ID) order differs from the
+	// believedEnd order only among jobs with EstEnd < now — which form a
+	// prefix of byEnd, all answer `now`, and contribute an
+	// order-independent processor sum — so the result is identical to
+	// sorting by (believedEnd, ID).
 	free := s.free
-	releases := s.Running()
-	sort.Slice(releases, func(i, k int) bool {
-		bi, bk := s.believedEnd(releases[i]), s.believedEnd(releases[k])
-		if bi != bk {
-			return bi < bk
-		}
-		return releases[i].Job.ID < releases[k].Job.ID
-	})
-	for _, sj := range releases {
+	for _, sj := range s.byEnd {
 		free += sj.Job.Procs
 		if free >= procs {
 			return s.believedEnd(sj), nil
@@ -341,7 +368,12 @@ func (s *SpaceShared) EarliestAvailable(procs int) (sim.Time, error) {
 // t (>= now), per estimates of the running jobs.
 func (s *SpaceShared) AvailableAt(t sim.Time) int {
 	free := s.free
-	for _, sj := range s.running {
+	for _, sj := range s.byEnd {
+		if sj.EstEnd > t {
+			// byEnd ascends in EstEnd, and believedEnd only raises
+			// EstEnd, so no later job can satisfy believedEnd <= t.
+			break
+		}
 		if s.believedEnd(sj) <= t {
 			free += sj.Job.Procs
 		}

@@ -39,7 +39,7 @@ type TSJob struct {
 	progress  float64 // actual work done
 	rate      float64 // current execution rate (fraction of a processor)
 	lapsed    bool    // booking expired before completion
-	lapseEv   *sim.Event
+	lapseEv   sim.Event
 	done      func(*workload.Job)
 }
 
@@ -89,7 +89,13 @@ type tsNode struct {
 	// down marks a failed node: no free share, no candidates, until
 	// repaired. A failing node's jobs are killed, so a down node is empty.
 	down bool
-	jobs map[*TSJob]struct{}
+	// dirty marks that the node's weights changed since the last
+	// recompute, so the rates of jobs touching it must be refreshed. Jobs
+	// on clean nodes keep their rate: recomputing from unchanged inputs
+	// would yield the bitwise-identical float, so skipping is exact, not
+	// approximate.
+	dirty bool
+	jobs  map[*TSJob]struct{}
 }
 
 func (n *tsNode) totalWeight() float64 { return n.booked + n.lapsedWeight }
@@ -117,7 +123,10 @@ type TimeShared struct {
 	// iterates it so results do not depend on map iteration order.
 	order      []*TSJob
 	lastUpdate sim.Time
-	next       *sim.Event
+	next       sim.Event
+	// dirtyNodes lists the nodes currently marked dirty, so recompute can
+	// clear the flags without scanning the whole machine.
+	dirtyNodes []int
 
 	// busyIntegral accumulates useful processor work (Σ rate·width over
 	// time) for Utilization. Capacity allocated on a fast node but idled
@@ -308,10 +317,11 @@ func (t *TimeShared) Start(j *workload.Job, share float64, nodes []int, done fun
 	}
 	t.running[j] = tj
 	t.order = append(t.order, tj)
+	t.markDirty(tj.Nodes)
 	if j.Deadline > 0 {
 		tj.lapseEv = t.engine.MustSchedule(
 			sim.Time(math.Max(j.AbsDeadline(), float64(t.engine.Now()))),
-			fmt.Sprintf("lapse booking of job %d", j.ID),
+			"lapse booking",
 			func() { t.onLapse(tj) },
 		)
 	}
@@ -321,7 +331,7 @@ func (t *TimeShared) Start(j *workload.Job, share float64, nodes []int, done fun
 
 // onLapse expires a still-running job's booking at its deadline.
 func (t *TimeShared) onLapse(tj *TSJob) {
-	tj.lapseEv = nil
+	tj.lapseEv = sim.Event{}
 	if _, ok := t.running[tj.Job]; !ok {
 		return // completed in the same instant
 	}
@@ -334,6 +344,7 @@ func (t *TimeShared) onLapse(tj *TSJob) {
 		}
 		t.nodes[n].lapsedWeight += tj.weight()
 	}
+	t.markDirty(tj.Nodes)
 	t.recompute()
 }
 
@@ -366,7 +377,7 @@ func (t *TimeShared) Kill(j *workload.Job) error {
 	}
 	t.order = kept
 	t.engine.Cancel(tj.lapseEv)
-	tj.lapseEv = nil
+	tj.lapseEv = sim.Event{}
 	for _, n := range tj.Nodes {
 		if tj.lapsed {
 			t.nodes[n].lapsedWeight -= tj.weight()
@@ -381,6 +392,7 @@ func (t *TimeShared) Kill(j *workload.Job) error {
 		}
 		delete(t.nodes[n].jobs, tj)
 	}
+	t.markDirty(tj.Nodes)
 	t.recompute()
 	return nil
 }
@@ -451,10 +463,39 @@ func (t *TimeShared) advance() {
 	t.lastUpdate = now
 }
 
-// recompute refreshes every job's execution rate and reschedules the next
-// completion event. Callers must advance() first.
+// markDirty flags the given nodes as weight-changed since the last
+// recompute. Every mutation of booked/lapsedWeight must be followed by a
+// markDirty of the affected nodes before recompute runs.
+func (t *TimeShared) markDirty(nodes []int) {
+	for _, n := range nodes {
+		if !t.nodes[n].dirty {
+			t.nodes[n].dirty = true
+			t.dirtyNodes = append(t.dirtyNodes, n)
+		}
+	}
+}
+
+// recompute refreshes the execution rate of every job touching a dirty node
+// and reschedules the next completion event. Callers must advance() first.
+//
+// Jobs entirely on clean nodes are skipped: their rate inputs (own weight,
+// node total weights, ratings) are unchanged, so the recomputed value would
+// be bitwise identical — the skip is exact. The completion event is always
+// cancelled and rescheduled, even when the soonest eta is unchanged, so the
+// kernel's event sequence numbers (and therefore same-time tie-breaking)
+// match a full recompute step for step.
 func (t *TimeShared) recompute() {
 	for _, tj := range t.order {
+		needs := false
+		for _, n := range tj.Nodes {
+			if t.nodes[n].dirty {
+				needs = true
+				break
+			}
+		}
+		if !needs {
+			continue
+		}
 		w := tj.weight()
 		rate := math.Inf(1)
 		for _, n := range tj.Nodes {
@@ -471,8 +512,12 @@ func (t *TimeShared) recompute() {
 		}
 		tj.rate = rate
 	}
+	for _, n := range t.dirtyNodes {
+		t.nodes[n].dirty = false
+	}
+	t.dirtyNodes = t.dirtyNodes[:0]
 	t.engine.Cancel(t.next)
-	t.next = nil
+	t.next = sim.Event{}
 	if len(t.running) == 0 {
 		return
 	}
@@ -488,7 +533,7 @@ func (t *TimeShared) recompute() {
 
 // onCompletion retires every job whose work is done, then reschedules.
 func (t *TimeShared) onCompletion() {
-	t.next = nil
+	t.next = sim.Event{}
 	t.advance()
 	var finished []*TSJob
 	kept := t.order[:0]
@@ -504,7 +549,8 @@ func (t *TimeShared) onCompletion() {
 	for _, tj := range finished {
 		delete(t.running, tj.Job)
 		t.engine.Cancel(tj.lapseEv)
-		tj.lapseEv = nil
+		tj.lapseEv = sim.Event{}
+		t.markDirty(tj.Nodes)
 		for _, n := range tj.Nodes {
 			if tj.lapsed {
 				t.nodes[n].lapsedWeight -= tj.weight()

@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/workload"
+)
+
+// TestTraceCacheMemoizesPerSeed pins the cache contract: one generation per
+// seed, identical slice handed to every caller, and bit-identical jobs to a
+// fresh generation at the same seed.
+func TestTraceCacheMemoizesPerSeed(t *testing.T) {
+	cfg := DefaultSuiteConfig(economy.Commodity, false)
+	cfg.Jobs = 50
+	cache := newTraceCache(cfg, nil)
+
+	a, err := cache.get(cfg.TraceSeed + 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cache.get(cfg.TraceSeed + 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != cfg.Jobs {
+		t.Fatalf("cached trace has %d jobs, want %d", len(a), cfg.Jobs)
+	}
+	if &a[0] != &b[0] {
+		t.Error("repeated get for the same seed returned a different slice (regenerated)")
+	}
+
+	synth := workload.DefaultSynthConfig()
+	synth.Jobs = cfg.Jobs
+	fresh, err := workload.Generate(synth, cfg.TraceSeed+1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh {
+		if *a[i] != *fresh[i] {
+			t.Fatalf("cached job %d = %+v, fresh generation = %+v", i, *a[i], *fresh[i])
+		}
+	}
+}
+
+// TestTraceCachePreSeedsBase verifies Run's replication-0 trace is served
+// from the cache rather than regenerated.
+func TestTraceCachePreSeedsBase(t *testing.T) {
+	cfg := DefaultSuiteConfig(economy.Commodity, false)
+	cfg.Jobs = 20
+	synth := workload.DefaultSynthConfig()
+	synth.Jobs = cfg.Jobs
+	base, err := workload.Generate(synth, cfg.TraceSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newTraceCache(cfg, base)
+	got, err := cache.get(cfg.TraceSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &base[0] {
+		t.Error("base trace was regenerated instead of served from the pre-seeded cache")
+	}
+}
+
+// TestTraceCacheConcurrentAccess hammers the cache from many goroutines
+// (the suite worker-pool shape); -race makes this a synchronization test,
+// and the identity check makes it a single-generation test.
+func TestTraceCacheConcurrentAccess(t *testing.T) {
+	cfg := DefaultSuiteConfig(economy.Commodity, false)
+	cfg.Jobs = 10
+	cache := newTraceCache(cfg, nil)
+	const workers = 8
+	got := make([][]*workload.Job, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, seed := range []int64{1001, 2001, 3001} {
+				tr, err := cache.get(seed)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got[w] = tr
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if &got[w][0] != &got[0][0] {
+			t.Fatalf("worker %d received a different trace instance for the same seed", w)
+		}
+	}
+}
+
+// TestReplicatedSuiteUnchangedByCache pins that the cache is a pure
+// memoization: a replicated suite produces byte-identical reports to
+// independent single-replication runs manually averaged — the same
+// equivalence the pre-cache code satisfied by regenerating per cell.
+func TestReplicatedSuiteUnchangedByCache(t *testing.T) {
+	cfg := DefaultSuiteConfig(economy.Commodity, false)
+	cfg.Jobs = 60
+	cfg.Nodes = 128
+	cfg.Replications = 2
+	cfg.ScenarioFilter = []string{"inaccuracy"}
+	cfg.PolicyFilter = []string{"FCFS-BF"}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second identical run: memoization must not introduce run-order or
+	// sharing effects — reports are deterministic.
+	res2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range res.Scenarios {
+		for vi := range res.Scenarios[si].Reports {
+			for name, rep := range res.Scenarios[si].Reports[vi] {
+				if rep != res2.Scenarios[si].Reports[vi][name] {
+					t.Fatalf("replicated suite not deterministic at %s[%d]/%s",
+						res.Scenarios[si].Name, vi, name)
+				}
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/economy"
@@ -205,6 +206,7 @@ func Run(cfg SuiteConfig) (*Results, error) {
 	if _, err := faults.ParseIntensity(string(cfg.FaultIntensity)); err != nil {
 		return nil, err
 	}
+	cache := newTraceCache(cfg, base)
 	specs := scheduler.ForModel(cfg.Model)
 	if len(cfg.PolicyFilter) > 0 {
 		wanted := make(map[string]bool, len(cfg.PolicyFilter))
@@ -329,7 +331,7 @@ func Run(cfg SuiteConfig) (*Results, error) {
 			for tk := range taskCh {
 				observer.CellStart(tk.cell)
 				start := time.Now() //lint:allow wallclock — per-cell wall-time accounting for the journal, not simulation time
-				rep, err := runCell(cfg, base, scenarios[tk.si], scenarios[tk.si].Values[tk.vi], specs[tk.pi])
+				rep, err := runCell(cfg, cache, base, scenarios[tk.si], scenarios[tk.si].Values[tk.vi], specs[tk.pi])
 				wall := time.Since(start) //lint:allow wallclock — per-cell wall-time accounting for the journal, not simulation time
 				outCh <- outcome{task: tk, report: rep, wall: wall, err: err}
 			}
@@ -370,10 +372,55 @@ func Run(cfg SuiteConfig) (*Results, error) {
 	return res, nil
 }
 
+// traceCache memoizes generated traces by replication seed, shared across
+// every cell of a suite run. Every cell at replication r draws the same
+// trace (seed TraceSeed+1000·r), so without the cache the generator runs
+// |cells|×(reps−1) times for reps distinct traces. workload.Generate is
+// pure — same config and seed give the same jobs — so handing out the
+// cached slice is exact; callers clone before mutating (runCell always
+// does, via workload.CloneAll).
+type traceCache struct {
+	synth workload.SynthConfig
+	mu    sync.Mutex
+	byTag map[int64][]*workload.Job
+}
+
+// newTraceCache builds the cache for cfg's synthetic generator, pre-seeding
+// the replication-0 trace that Run has already generated.
+func newTraceCache(cfg SuiteConfig, base []*workload.Job) *traceCache {
+	synth := workload.DefaultSynthConfig()
+	if cfg.Synth != nil {
+		synth = *cfg.Synth
+	}
+	synth.Jobs = cfg.Jobs
+	c := &traceCache{synth: synth, byTag: make(map[int64][]*workload.Job)}
+	if cfg.Trace == nil && base != nil {
+		c.byTag[cfg.TraceSeed] = base
+	}
+	return c
+}
+
+// get returns the trace for a seed, generating it on first use. Safe for
+// concurrent use from the suite worker pool.
+func (c *traceCache) get(seed int64) ([]*workload.Job, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.byTag[seed]; ok {
+		return t, nil
+	}
+	t, err := workload.Generate(c.synth, seed)
+	if err != nil {
+		return nil, err
+	}
+	c.byTag[seed] = t
+	return t, nil
+}
+
 // runCell prepares the workload for one (scenario, value) cell and runs it
 // under one policy, averaging over the configured replications. base is
-// the replication-0 trace; further replications generate their own.
-func runCell(cfg SuiteConfig, base []*workload.Job, sc Scenario, value float64, spec scheduler.Spec) (metrics.Report, error) {
+// the replication-0 trace; further replications draw theirs through the
+// shared cache.
+func runCell(cfg SuiteConfig, cache *traceCache, base []*workload.Job, sc Scenario, value float64, spec scheduler.Spec) (metrics.Report, error) {
 	p := DefaultParams(cfg.inaccuracyDefault())
 	sc.Apply(&p, value)
 	if err := p.Validate(); err != nil {
@@ -392,13 +439,8 @@ func runCell(cfg SuiteConfig, base []*workload.Job, sc Scenario, value float64, 
 				// seed varies across its replications.
 				trace = cfg.Trace
 			} else {
-				synth := workload.DefaultSynthConfig()
-				if cfg.Synth != nil {
-					synth = *cfg.Synth
-				}
-				synth.Jobs = cfg.Jobs
 				var err error
-				trace, err = workload.Generate(synth, cfg.TraceSeed+int64(1000*r))
+				trace, err = cache.get(cfg.TraceSeed + int64(1000*r))
 				if err != nil {
 					return metrics.Report{}, err
 				}
@@ -467,5 +509,5 @@ func RunCell(cfg SuiteConfig, params Params, spec scheduler.Spec) (metrics.Repor
 	}
 	saved := params
 	identity.Apply = func(p *Params, _ float64) { *p = saved }
-	return runCell(cfg, base, identity, 0, spec)
+	return runCell(cfg, newTraceCache(cfg, base), base, identity, 0, spec)
 }

@@ -1,8 +1,6 @@
 package scheduler
 
 import (
-	"fmt"
-
 	"repro/internal/cluster"
 	"repro/internal/economy"
 	"repro/internal/sim"
@@ -175,7 +173,7 @@ func (l *libraPolicy) Submit(j *workload.Job) {
 	}
 	if l.terminate {
 		l.ctx.Engine.MustSchedule(sim.Time(j.AbsDeadline()),
-			fmt.Sprintf("terminate job %d at deadline", j.ID), func() { l.kill(j) })
+			"terminate at deadline", func() { l.kill(j) })
 	}
 }
 

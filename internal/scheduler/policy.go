@@ -217,7 +217,7 @@ func Run(jobs []*workload.Job, factory Factory, cfg RunConfig) (metrics.Report, 
 	policy := factory(ctx)
 	for _, j := range jobs {
 		j := j
-		engine.MustSchedule(sim.Time(j.Submit), fmt.Sprintf("submit job %d", j.ID), func() {
+		engine.MustSchedule(sim.Time(j.Submit), "submit job", func() {
 			collector.Submitted(j)
 			policy.Submit(j)
 		})
@@ -233,11 +233,11 @@ func Run(jobs []*workload.Job, factory Factory, cfg RunConfig) (metrics.Report, 
 		}
 		for _, ev := range events {
 			ev := ev
-			verb := "repair"
+			label := "repair node"
 			if ev.Down {
-				verb = "fail"
+				label = "fail node"
 			}
-			engine.MustSchedule(sim.Time(ev.Time), fmt.Sprintf("%s node %d", verb, ev.Node), func() {
+			engine.MustSchedule(sim.Time(ev.Time), label, func() {
 				if ev.Down {
 					fi.NodeDown(ev.Node)
 				} else {

@@ -7,10 +7,30 @@
 // reproducible regardless of map iteration or goroutine scheduling. A single
 // simulation runs on one goroutine; parallelism in this repository happens
 // across simulations, not inside one.
+//
+// # Performance model
+//
+// The kernel is the innermost loop of every simulation, so it holds three
+// invariants (measured by cmd/benchjson's sim/* probes and pinned by the
+// BENCH_<n>.json trajectory):
+//
+//   - Zero steady-state allocations. Event records live on a per-engine
+//     free list; firing or cancelling an event recycles its record, and the
+//     next Schedule reuses it. Only heap/pool growth allocates.
+//   - No interface dispatch on the hot path. The priority queue is a
+//     concrete binary heap over *event with inlined (time, seq) comparisons
+//     rather than container/heap's interface-driven sift.
+//   - Labels are static strings. Schedule takes the label by value and
+//     never formats it; call sites must not build labels with fmt.Sprintf
+//     in hot paths (the label is diagnostic only).
+//
+// Recycling is safe against stale handles: Event is a value handle carrying
+// a generation number, and every recycle bumps the record's generation, so
+// Cancel on a fired, cancelled, or reused event is a detectable no-op
+// rather than a corruption (see Event).
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -27,66 +47,66 @@ const Infinity Time = Time(math.MaxFloat64)
 // call.
 type Handler func()
 
-// Event is a scheduled callback. The zero value is not usable; obtain events
-// from Engine.Schedule.
-type Event struct {
+// event is the pooled queue record. Records are owned by the engine and
+// recycled through its free list; the exported Event handle guards against
+// observing a recycled record via the generation counter.
+type event struct {
 	time    Time
 	seq     uint64
-	index   int // heap index; -1 once removed
+	gen     uint64
+	index   int32 // heap index; -1 once removed
 	handler Handler
 	// label is retained for tracing and error messages only.
 	label string
 }
 
-// Time returns the virtual time at which the event fires (or fired).
-func (e *Event) Time() Time { return e.time }
+// Event is a value handle to a scheduled callback, returned by Schedule.
+// The zero value is a valid "no event" handle: it is never pending, never
+// cancelled, and Cancel of it is a no-op returning false.
+//
+// Handles stay safe after the event fires or is cancelled, even though the
+// underlying record is recycled for later Schedule calls: each handle
+// carries the generation of the record it was minted for, and recycling
+// bumps the generation, so a stale handle can never cancel — or observe —
+// a reused record.
+type Event struct {
+	ev  *event
+	gen uint64
+	at  Time
+	// label is copied into the handle so Label stays valid after the
+	// record is recycled.
+	label string
+}
 
-// Cancelled reports whether the event has been removed from the queue,
-// either by firing or by Engine.Cancel.
-func (e *Event) Cancelled() bool { return e.index == -1 }
+// Time returns the virtual time at which the event fires (or fired). Zero
+// for the zero handle.
+func (e Event) Time() Time { return e.at }
 
 // Label returns the diagnostic label given at scheduling time.
-func (e *Event) Label() string { return e.label }
+func (e Event) Label() string { return e.label }
 
-type eventHeap []*Event
+// Scheduled reports whether the handle was obtained from Schedule (the
+// zero "no event" handle reports false).
+func (e Event) Scheduled() bool { return e.ev != nil }
 
-func (h eventHeap) Len() int { return len(h) }
+// Pending reports whether the event is still queued to fire.
+func (e Event) Pending() bool { return e.ev != nil && e.ev.gen == e.gen }
 
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
+// Cancelled reports whether the event has been removed from the queue,
+// either by firing or by Engine.Cancel. A zero-value handle that was never
+// scheduled reports false (it was never queued, so it cannot have been
+// removed) — callers testing "is there still a timer" should use Pending.
+func (e Event) Cancelled() bool { return e.ev != nil && e.ev.gen != e.gen }
 
 // Engine is a discrete event simulation kernel. The zero value is ready to
 // use; NewEngine is provided for symmetry with the rest of the repository.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
+	now   Time
+	seq   uint64
+	queue []*event
+	// free is the recycled-record pool; see the package comment's
+	// performance model.
+	free    []*event
 	fired   uint64
 	running bool
 }
@@ -107,25 +127,31 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // current clock.
 var ErrPast = errors.New("sim: event scheduled in the past")
 
-// Schedule queues h to run at time t with a diagnostic label. It returns the
-// event so the caller may Cancel it later. Scheduling at the current time is
-// allowed (the event fires after the currently running handler returns).
-func (e *Engine) Schedule(t Time, label string, h Handler) (*Event, error) {
+// Schedule queues h to run at time t with a diagnostic label. It returns a
+// handle so the caller may Cancel it later. Scheduling at the current time
+// is allowed (the event fires after the currently running handler returns).
+// The label should be a static string: it is stored, never formatted, and
+// hot paths must not pay for a fmt.Sprintf that is almost never read.
+func (e *Engine) Schedule(t Time, label string, h Handler) (Event, error) {
 	if t < e.now {
-		return nil, fmt.Errorf("%w: at %v, now %v (%s)", ErrPast, t, e.now, label)
+		return Event{}, fmt.Errorf("%w: at %v, now %v (%s)", ErrPast, t, e.now, label)
 	}
 	if h == nil {
-		return nil, fmt.Errorf("sim: nil handler (%s)", label)
+		return Event{}, fmt.Errorf("sim: nil handler (%s)", label)
 	}
-	ev := &Event{time: t, seq: e.seq, handler: h, label: label}
+	ev := e.alloc()
+	ev.time = t
+	ev.seq = e.seq
+	ev.handler = h
+	ev.label = label
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev, nil
+	e.push(ev)
+	return Event{ev: ev, gen: ev.gen, at: t, label: label}, nil
 }
 
 // MustSchedule is Schedule for callers that guarantee t >= Now().
 // It panics on error; the simulation layers use it after clamping times.
-func (e *Engine) MustSchedule(t Time, label string, h Handler) *Event {
+func (e *Engine) MustSchedule(t Time, label string, h Handler) Event {
 	ev, err := e.Schedule(t, label, h)
 	if err != nil {
 		panic(err)
@@ -134,21 +160,35 @@ func (e *Engine) MustSchedule(t Time, label string, h Handler) *Event {
 }
 
 // After schedules h to run d seconds from now.
-func (e *Engine) After(d Time, label string, h Handler) *Event {
+func (e *Engine) After(d Time, label string, h Handler) Event {
 	if d < 0 {
 		d = 0
 	}
 	return e.MustSchedule(e.now+d, label, h)
 }
 
-// Cancel removes ev from the queue. Cancelling an already-fired or
-// already-cancelled event is a no-op and returns false.
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.index == -1 {
+// Cancel removes the event from the queue. Cancelling an already-fired or
+// already-cancelled event — or the zero handle — is a no-op and returns
+// false, even if the underlying record has since been recycled for a newer
+// event (the generation check protects the newer event).
+func (e *Engine) Cancel(h Event) bool {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen {
 		return false
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	i := int(ev.index)
+	n := len(e.queue) - 1
+	last := e.queue[n]
+	e.queue[n] = nil
+	e.queue = e.queue[:n]
+	if i != n {
+		e.queue[i] = last
+		last.index = int32(i)
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	}
+	e.recycle(ev)
 	return true
 }
 
@@ -158,10 +198,14 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := e.popMin()
 	e.now = ev.time
 	e.fired++
-	ev.handler()
+	h := ev.handler
+	// Recycle before dispatch so the handler's own Schedule calls can
+	// reuse the record immediately; h is already copied out.
+	e.recycle(ev)
+	h()
 	return true
 }
 
@@ -191,4 +235,109 @@ func (e *Engine) RunUntil(horizon Time) {
 	if e.now < horizon {
 		e.now = horizon
 	}
+}
+
+// alloc takes a record from the free list, or grows the pool.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle invalidates every outstanding handle to the record (generation
+// bump), drops the handler reference so its closure can be collected, and
+// returns the record to the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.handler = nil
+	ev.label = ""
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
+// less orders the heap by (time, seq): earlier time first, scheduling
+// order within a tie — the determinism contract.
+func less(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// push appends the record and restores the heap invariant.
+func (e *Engine) push(ev *event) {
+	ev.index = int32(len(e.queue))
+	e.queue = append(e.queue, ev)
+	e.siftUp(len(e.queue) - 1)
+}
+
+// popMin removes and returns the root. The single-element case skips the
+// sift entirely; otherwise the last leaf is moved to the root and sifted
+// down once — no interface dispatch, no extra swaps.
+func (e *Engine) popMin() *event {
+	q := e.queue
+	n := len(q) - 1
+	top := q[0]
+	last := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.queue[0] = last
+		last.index = 0
+		e.siftDown(0)
+	}
+	top.index = -1
+	return top
+}
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q[parent]
+		if !less(ev, p) {
+			break
+		}
+		q[i] = p
+		p.index = int32(i)
+		i = parent
+	}
+	q[i] = ev
+	ev.index = int32(i)
+}
+
+// siftDown restores the invariant below i, reporting whether the record
+// moved (the container/heap Remove contract: if it did not move down, the
+// caller tries up).
+func (e *Engine) siftDown(i int) bool {
+	q := e.queue
+	n := len(q)
+	ev := q[i]
+	start := i
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		c := q[left]
+		if right := left + 1; right < n && less(q[right], c) {
+			child = right
+			c = q[right]
+		}
+		if !less(c, ev) {
+			break
+		}
+		q[i] = c
+		c.index = int32(i)
+		i = child
+	}
+	q[i] = ev
+	ev.index = int32(i)
+	return i > start
 }

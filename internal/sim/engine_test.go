@@ -110,10 +110,19 @@ func TestCancel(t *testing.T) {
 	}
 }
 
-func TestCancelNil(t *testing.T) {
+func TestCancelZeroHandle(t *testing.T) {
 	e := NewEngine()
-	if e.Cancel(nil) {
-		t.Error("Cancel(nil) returned true")
+	if e.Cancel(Event{}) {
+		t.Error("Cancel(Event{}) returned true")
+	}
+	if (Event{}).Cancelled() {
+		t.Error("zero handle Cancelled() = true, want false (never scheduled)")
+	}
+	if (Event{}).Pending() {
+		t.Error("zero handle Pending() = true")
+	}
+	if (Event{}).Scheduled() {
+		t.Error("zero handle Scheduled() = true")
 	}
 }
 
@@ -205,7 +214,7 @@ func TestCancelSubsetProperty(t *testing.T) {
 		e := NewEngine()
 		const n = 100
 		fired := make([]int, n)
-		events := make([]*Event, n)
+		events := make([]Event, n)
 		for i := 0; i < n; i++ {
 			i := i
 			events[i] = e.MustSchedule(Time(rng.Intn(30)), "p", func() { fired[i]++ })
