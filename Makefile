@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot cover cover-check bench bench-capture bench-diff fuzz fuzz-sim results examples clean verify lint fmt-check
+.PHONY: all build vet test race race-hot cover cover-check bench bench-capture bench-diff fuzz fuzz-sim results examples clean verify lint fmt-check serve-smoke
 
 all: build vet test
 
@@ -67,10 +67,19 @@ OUT ?= BENCH_local.json
 bench-capture:
 	$(GO) run ./cmd/benchjson -config short -suite -out $(OUT)
 
-OLD ?= BENCH_PR4.json
+OLD ?= BENCH_PR5.json
 NEW ?= BENCH_local.json
 bench-diff:
 	$(GO) run ./cmd/benchjson -diff $(OLD) $(NEW)
+
+# Service-layer smoke: boot riskserved on a loopback port, replay the
+# scripted session, and compare the journal byte-for-byte against the
+# committed golden (cmd/riskserved/testdata/smoke_journal.golden) — plus
+# the serve package's determinism-bridge and concurrent-session tests,
+# all under the race detector. Regenerate the golden with
+# `go test ./cmd/riskserved -run TestServeSmoke -update`.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestServe' ./cmd/riskserved ./internal/serve
 
 fuzz:
 	$(GO) test ./internal/workload/ -run FuzzReadSWF -fuzz FuzzReadSWF -fuzztime 30s

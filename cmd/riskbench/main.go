@@ -35,6 +35,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/plot"
+	"repro/internal/registry"
 	"repro/internal/risk"
 )
 
@@ -89,11 +90,11 @@ func main() {
 
 // run executes the full riskbench pipeline for one flag set.
 func run(o options) error {
-	models, err := parseModels(o.model)
+	models, err := registry.ParseModels(o.model)
 	if err != nil {
 		return err
 	}
-	sets, err := parseSets(o.set)
+	sets, err := registry.ParseSets(o.set)
 	if err != nil {
 		return err
 	}
@@ -349,32 +350,6 @@ func figureNumbers(m economy.Model) (sep, int3 int) {
 		return 3, 4
 	}
 	return 6, 7
-}
-
-func parseModels(s string) ([]economy.Model, error) {
-	switch s {
-	case "commodity":
-		return []economy.Model{economy.Commodity}, nil
-	case "bid", "bid-based":
-		return []economy.Model{economy.BidBased}, nil
-	case "both":
-		return []economy.Model{economy.Commodity, economy.BidBased}, nil
-	default:
-		return nil, fmt.Errorf("unknown model %q", s)
-	}
-}
-
-func parseSets(s string) ([]bool, error) {
-	switch strings.ToUpper(s) {
-	case "A":
-		return []bool{false}, nil
-	case "B":
-		return []bool{true}, nil
-	case "BOTH":
-		return []bool{false, true}, nil
-	default:
-		return nil, fmt.Errorf("unknown set %q (want A, B, or both)", s)
-	}
 }
 
 func slug(s string) string {

@@ -19,36 +19,6 @@ func TestSlug(t *testing.T) {
 	}
 }
 
-func TestParseModels(t *testing.T) {
-	if m, err := parseModels("commodity"); err != nil || len(m) != 1 || m[0] != economy.Commodity {
-		t.Errorf("parseModels(commodity) = %v, %v", m, err)
-	}
-	if m, err := parseModels("bid"); err != nil || m[0] != economy.BidBased {
-		t.Errorf("parseModels(bid) = %v, %v", m, err)
-	}
-	if m, err := parseModels("both"); err != nil || len(m) != 2 {
-		t.Errorf("parseModels(both) = %v, %v", m, err)
-	}
-	if _, err := parseModels("martian"); err == nil {
-		t.Error("unknown model accepted")
-	}
-}
-
-func TestParseSets(t *testing.T) {
-	if s, err := parseSets("a"); err != nil || len(s) != 1 || s[0] != false {
-		t.Errorf("parseSets(a) = %v, %v", s, err)
-	}
-	if s, err := parseSets("B"); err != nil || s[0] != true {
-		t.Errorf("parseSets(B) = %v, %v", s, err)
-	}
-	if s, err := parseSets("both"); err != nil || len(s) != 2 {
-		t.Errorf("parseSets(both) = %v, %v", s, err)
-	}
-	if _, err := parseSets("c"); err == nil {
-		t.Error("unknown set accepted")
-	}
-}
-
 func TestFigureNumbers(t *testing.T) {
 	if sep, int3 := figureNumbers(economy.Commodity); sep != 3 || int3 != 4 {
 		t.Errorf("commodity figures = %d/%d, want 3/4", sep, int3)

@@ -1,0 +1,98 @@
+// Command riskserved serves the reproduction's simulation as an online
+// utility-computing daemon: clients create deterministic simulation
+// sessions, submit jobs with QoS terms one request at a time, and read
+// admission decisions, price quotes, live objective reports, and the
+// session's canonical journal back over HTTP.
+//
+//	POST   /v1/sessions                create a session (policy, model, machine, faults)
+//	POST   /v1/sessions/{id}/jobs      submit a job; returns admission + quote
+//	GET    /v1/sessions/{id}/report    live (or final) objective report + risk scores
+//	GET    /v1/sessions/{id}/journal   the session's JSONL journal
+//	POST   /v1/sessions/{id}/finalize  drain the session and fix the final report
+//	DELETE /v1/sessions/{id}           finalize, return the final report, evict
+//	GET    /healthz                    liveness + session count
+//	GET    /debug/vars                 expvar counters
+//	GET    /debug/pprof/...            pprof handlers
+//
+// Sessions advance in virtual time only; a scripted request sequence is
+// bit-for-bit identical to the equivalent offline batch run. SIGINT or
+// SIGTERM drains gracefully: in-flight requests finish within
+// -drain-timeout before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "localhost:8080", "listen address")
+		maxSessions   = flag.Int("max-sessions", 1024, "maximum live sessions; creates beyond it get 503")
+		maxConcurrent = flag.Int("max-concurrent", 0, "maximum in-flight /v1 requests (0 = 4×GOMAXPROCS); excess load gets 503 + Retry-After")
+		idleTimeout   = flag.Duration("idle-timeout", 30*time.Minute, "evict sessions untouched this long")
+		sweepInterval = flag.Duration("sweep-interval", time.Minute, "idle-eviction sweep period")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown window after SIGINT/SIGTERM")
+	)
+	flag.Parse()
+	cfg := serve.Config{
+		MaxSessions:   *maxSessions,
+		MaxConcurrent: *maxConcurrent,
+		IdleTimeout:   *idleTimeout,
+		SweepInterval: *sweepInterval,
+	}
+	if err := run(context.Background(), *addr, cfg, *drainTimeout, os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "riskserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until the context is cancelled, a
+// SIGINT/SIGTERM arrives, or the listener fails. ready, when non-nil,
+// receives the bound address once the server is listening — tests listen
+// on :0 and read the port from it.
+func run(ctx context.Context, addr string, cfg serve.Config, drainTimeout time.Duration, logw io.Writer, ready chan<- string) error {
+	srv := serve.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go srv.RunSweeper(ctx)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(logw, "riskserved: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintf(logw, "riskserved: draining (%d live sessions, up to %v)\n", srv.Sessions(), drainTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		fmt.Fprintln(logw, "riskserved: drained")
+		return nil
+	}
+}

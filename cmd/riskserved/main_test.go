@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// post sends a JSON body and decodes the JSON response.
+func post(t *testing.T, url string, body, out any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode >= 300 {
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("POST %s: decoding %q: %v", url, data, err)
+		}
+	}
+	return resp
+}
+
+// TestServeSmoke boots the real daemon on a loopback port, replays a
+// scripted session over HTTP, and compares the session journal byte for
+// byte against the committed golden — the end-to-end determinism check
+// `make serve-smoke` runs in CI. It finishes by exercising the graceful
+// drain path.
+func TestServeSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, "127.0.0.1:0", serve.Config{}, 5*time.Second, io.Discard, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not come up")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v / %v", resp, err)
+	}
+	resp.Body.Close()
+
+	// The scripted session: Libra+$ on a small machine; a feasible job, an
+	// over-budget rejection, and a second acceptance at a later instant.
+	var cr serve.CreateSessionResponse
+	post(t, base+"/v1/sessions", serve.CreateSessionRequest{Policy: "Libra+$", Model: "commodity", Nodes: 8}, &cr)
+	jobs := base + "/v1/sessions/" + cr.ID + "/jobs"
+	var d1, d2, d3 serve.SubmitJobResponse
+	post(t, jobs, serve.SubmitJobRequest{Submit: 0, Runtime: 100, Deadline: 200, Budget: 1000}, &d1)
+	post(t, jobs, serve.SubmitJobRequest{Submit: 5, Runtime: 100, Deadline: 200, Budget: 0.01}, &d2)
+	post(t, jobs, serve.SubmitJobRequest{Submit: 50, Runtime: 40, Procs: 2, Deadline: 300, Budget: 500}, &d3)
+	if d1.Admission != "accepted" || d2.Admission != "rejected" || d3.Admission != "accepted" {
+		t.Fatalf("admissions: %q, %q, %q", d1.Admission, d2.Admission, d3.Admission)
+	}
+	post(t, base+"/v1/sessions/"+cr.ID+"/finalize", struct{}{}, nil)
+
+	jresp, err := http.Get(base + "/v1/sessions/" + cr.ID + "/journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal, err := io.ReadAll(jresp.Body)
+	jresp.Body.Close()
+	if err != nil || jresp.StatusCode != http.StatusOK {
+		t.Fatalf("journal: status %d, err %v", jresp.StatusCode, err)
+	}
+
+	golden := filepath.Join("testdata", "smoke_journal.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, journal, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(journal, want) {
+		t.Errorf("smoke journal diverged from golden:\ngot:\n%s\nwant:\n%s", journal, want)
+	}
+
+	// Graceful drain: cancelling the context must return nil after the
+	// in-flight work completes.
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain")
+	}
+}
+
+// The daemon refuses a second listener on the same port with a plain
+// error, not a hang.
+func TestServeAddrInUse(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, "127.0.0.1:0", serve.Config{}, time.Second, io.Discard, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not come up")
+	}
+	if err := run(ctx, addr, serve.Config{}, time.Second, io.Discard, nil); err == nil {
+		t.Fatal("second listener on the same address succeeded")
+	}
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

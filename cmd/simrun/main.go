@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/registry"
 	"repro/internal/scheduler"
 	"repro/internal/workload"
 )
@@ -49,21 +50,13 @@ func main() {
 	}
 
 	if *list {
-		fmt.Println("Policy       Models                Primary parameter")
-		for _, s := range scheduler.Specs() {
-			models := ""
-			for i, m := range s.Models {
-				if i > 0 {
-					models += ", "
-				}
-				models += m.String()
-			}
-			fmt.Printf("%-12s %-21s %s\n", s.Name, models, s.Parameter)
+		for _, line := range registry.ListPolicies() {
+			fmt.Println(line)
 		}
 		return
 	}
 
-	m, err := parseModel(*model)
+	m, err := registry.ParseModel(*model)
 	if err != nil {
 		fatal(err)
 	}
@@ -153,17 +146,6 @@ func compareAll(m economy.Model, jobs, nodes int, inaccuracy, arrival, urgent fl
 		}
 		fmt.Printf("%-12s %9.1f %8.2f %13.2f %15.2f %13.2f\n",
 			spec.Name, rep.Wait, rep.SLA, rep.Reliability, rep.Profitability, rep.Utilization*100)
-	}
-}
-
-func parseModel(s string) (economy.Model, error) {
-	switch s {
-	case "commodity":
-		return economy.Commodity, nil
-	case "bid", "bid-based":
-		return economy.BidBased, nil
-	default:
-		return 0, fmt.Errorf("unknown model %q (want commodity or bid)", s)
 	}
 }
 

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"repro/internal/metrics"
+)
+
+// SessionHeader is the first line of a service-session journal: the full
+// parameterization of the simulation the session owns. Everything needed to
+// replay the session offline is here — a scripted request stream plus this
+// header reproduces the journal byte for byte (see internal/serve's
+// determinism test).
+type SessionHeader struct {
+	Kind   string `json:"kind"` // always "session"
+	ID     string `json:"id"`
+	Policy string `json:"policy"`
+	Model  string `json:"model"`
+	Nodes  int    `json:"nodes"`
+	// BasePrice is PBase in dollars per estimated-runtime second.
+	BasePrice float64 `json:"base_price"`
+	// Seed and FaultIntensity parameterize the deterministic fault process;
+	// both are omitted when the session runs the paper's never-failing
+	// machine.
+	Seed           int64  `json:"seed,omitempty"`
+	FaultIntensity string `json:"fault_intensity,omitempty"`
+	// FaultHorizon is the virtual-time window the fault process is scaled
+	// to, in seconds.
+	FaultHorizon float64 `json:"fault_horizon,omitempty"`
+}
+
+// SessionDecision is one journal line per submission: the job's shape and
+// QoS terms as admitted, and the service's synchronous answer — admission
+// outcome and price quote.
+type SessionDecision struct {
+	Kind        string  `json:"kind"` // always "decision"
+	Job         int     `json:"job"`
+	Submit      float64 `json:"submit"`
+	Runtime     float64 `json:"runtime"`
+	Estimate    float64 `json:"estimate"`
+	Procs       int     `json:"procs"`
+	Deadline    float64 `json:"deadline"`
+	Budget      float64 `json:"budget"`
+	PenaltyRate float64 `json:"penalty_rate,omitempty"`
+	Admission   string  `json:"admission"`
+	Quote       float64 `json:"quote"`
+}
+
+// SessionFinal is the journal's last line: the finalized objective report.
+type SessionFinal struct {
+	Kind   string         `json:"kind"` // always "final"
+	Report metrics.Report `json:"report"`
+}
+
+// SessionJournal accumulates one service session's request stream as JSONL:
+// a header line, one decision line per submission in request order, and a
+// final report line once the session is drained. Every field is derived
+// from the request stream and the deterministic simulation — no wall-clock,
+// no iteration-order dependence — so two sessions fed the same scripted
+// requests produce byte-identical journals.
+//
+// A SessionJournal is not safe for concurrent use; the serve layer guards
+// it with the owning session's mutex.
+type SessionJournal struct {
+	buf bytes.Buffer
+	err error // first marshal/append error, reported by Err
+}
+
+// NewSessionJournal starts a journal with its header line. The Kind field
+// is stamped; callers fill the rest.
+func NewSessionJournal(h SessionHeader) *SessionJournal {
+	j := &SessionJournal{}
+	h.Kind = "session"
+	j.appendLine(h)
+	return j
+}
+
+// Decision appends one submission's decision line. The Kind field is
+// stamped.
+func (j *SessionJournal) Decision(d SessionDecision) {
+	d.Kind = "decision"
+	j.appendLine(d)
+}
+
+// Final appends the finalized report line. The Kind field is stamped.
+func (j *SessionJournal) Final(r metrics.Report) {
+	j.appendLine(SessionFinal{Kind: "final", Report: r})
+}
+
+func (j *SessionJournal) appendLine(v any) {
+	line, err := json.Marshal(v)
+	if err != nil {
+		if j.err == nil {
+			j.err = err
+		}
+		return
+	}
+	j.buf.Write(line)     //lint:allow errignore — bytes.Buffer.Write is documented to always return a nil error
+	j.buf.WriteByte('\n') //lint:allow errignore — bytes.Buffer.WriteByte is documented to always return a nil error
+}
+
+// Bytes returns the journal so far as JSONL. The returned slice aliases the
+// journal's buffer; callers must not retain it across further appends.
+func (j *SessionJournal) Bytes() []byte { return j.buf.Bytes() }
+
+// Err returns the first append error, if any. Marshaling the journal's
+// plain struct lines cannot normally fail; a non-nil error means a
+// non-finite float (NaN or Inf) reached a quote or report field.
+func (j *SessionJournal) Err() error { return j.err }

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func buildSessionJournal() *SessionJournal {
+	j := NewSessionJournal(SessionHeader{
+		ID: "s-1", Policy: "Libra", Model: "commodity", Nodes: 128, BasePrice: 1,
+		Seed: 7, FaultIntensity: "high", FaultHorizon: 1000,
+	})
+	j.Decision(SessionDecision{
+		Job: 1, Submit: 0, Runtime: 100, Estimate: 100, Procs: 2,
+		Deadline: 200, Budget: 500, Admission: "accepted", Quote: 120,
+	})
+	j.Decision(SessionDecision{
+		Job: 2, Submit: 10, Runtime: 50, Estimate: 60, Procs: 1,
+		Deadline: 100, Budget: 1, PenaltyRate: 0.01, Admission: "rejected", Quote: 80,
+	})
+	j.Final(metrics.Report{Submitted: 2, Accepted: 1, SLA: 50, Utilization: 0.25})
+	return j
+}
+
+func TestSessionJournalShape(t *testing.T) {
+	j := buildSessionJournal()
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(j.Bytes(), []byte("\n")), []byte("\n"))
+	if len(lines) != 4 {
+		t.Fatalf("journal has %d lines, want 4", len(lines))
+	}
+	wantKinds := []string{"session", "decision", "decision", "final"}
+	for i, line := range lines {
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i, err)
+		}
+		if probe.Kind != wantKinds[i] {
+			t.Errorf("line %d kind %q, want %q", i, probe.Kind, wantKinds[i])
+		}
+	}
+	var final SessionFinal
+	if err := json.Unmarshal(lines[3], &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.Report.Submitted != 2 || final.Report.SLA != 50 {
+		t.Errorf("final report round-trip: %+v", final.Report)
+	}
+}
+
+// The determinism contract the serve layer leans on: the same logical
+// stream always serializes to the same bytes.
+func TestSessionJournalDeterministicBytes(t *testing.T) {
+	a, b := buildSessionJournal(), buildSessionJournal()
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("identical streams produced different journals:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+	}
+}
+
+func TestSessionJournalMarshalError(t *testing.T) {
+	j := NewSessionJournal(SessionHeader{ID: "s-1"})
+	before := len(j.Bytes())
+	j.Decision(SessionDecision{Job: 1, Quote: math.Inf(1)})
+	if j.Err() == nil {
+		t.Fatal("non-finite quote marshaled without error")
+	}
+	if len(j.Bytes()) != before {
+		t.Error("failed line was partially appended")
+	}
+	// The first error sticks; later good lines still append.
+	j.Final(metrics.Report{})
+	if j.Err() == nil {
+		t.Fatal("error cleared by a later append")
+	}
+	if len(j.Bytes()) == before {
+		t.Error("good line after an error was dropped")
+	}
+}

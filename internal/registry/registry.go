@@ -1,0 +1,91 @@
+// Package registry maps the command-line and service-layer spellings of
+// the evaluation's axes — economic model, estimate-inaccuracy Set, policy —
+// to their constructors and parameterizations. It is the single table the
+// cmd front-ends (simrun, riskbench, riskserved) share, so a policy or
+// model added to the scheduler shows up everywhere at once.
+package registry
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/economy"
+	"repro/internal/scheduler"
+)
+
+// ParseModel resolves one economic-model name: "commodity", or "bid"
+// (accepting the paper's "bid-based" spelling).
+func ParseModel(s string) (economy.Model, error) {
+	switch s {
+	case "commodity":
+		return economy.Commodity, nil
+	case "bid", "bid-based":
+		return economy.BidBased, nil
+	default:
+		return 0, fmt.Errorf("unknown model %q (want commodity or bid)", s)
+	}
+}
+
+// ParseModels resolves a model selector that additionally accepts "both",
+// in the paper's commodity-first order.
+func ParseModels(s string) ([]economy.Model, error) {
+	if s == "both" {
+		return []economy.Model{economy.Commodity, economy.BidBased}, nil
+	}
+	m, err := ParseModel(s)
+	if err != nil {
+		return nil, err
+	}
+	return []economy.Model{m}, nil
+}
+
+// ParseSets resolves an estimate-inaccuracy Set selector — "A" (accurate
+// estimates), "B" (100% inaccuracy), or "both" — into setB flags as
+// experiment.DefaultSuiteConfig takes them.
+func ParseSets(s string) ([]bool, error) {
+	switch strings.ToUpper(s) {
+	case "A":
+		return []bool{false}, nil
+	case "B":
+		return []bool{true}, nil
+	case "BOTH":
+		return []bool{false, true}, nil
+	default:
+		return nil, fmt.Errorf("unknown set %q (want A, B, or both)", s)
+	}
+}
+
+// PolicySpec resolves a policy name under an economic model, enforcing the
+// Table V matrix: a policy the paper does not evaluate under the model is
+// refused with the list of models it does run under.
+func PolicySpec(name string, m economy.Model) (scheduler.Spec, error) {
+	spec, err := scheduler.SpecByName(name)
+	if err != nil {
+		return scheduler.Spec{}, err
+	}
+	for _, sm := range spec.Models {
+		if sm == m {
+			return spec, nil
+		}
+	}
+	return scheduler.Spec{}, fmt.Errorf("registry: policy %s is not evaluated under the %s model (runs under %s)",
+		spec.Name, m, modelList(spec.Models))
+}
+
+// ListPolicies renders the Table V policy matrix as aligned text lines for
+// -list style output.
+func ListPolicies() []string {
+	lines := []string{fmt.Sprintf("%-12s %-21s %s", "Policy", "Models", "Primary parameter")}
+	for _, s := range scheduler.Specs() {
+		lines = append(lines, fmt.Sprintf("%-12s %-21s %s", s.Name, modelList(s.Models), s.Parameter))
+	}
+	return lines
+}
+
+func modelList(models []economy.Model) string {
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.String()
+	}
+	return strings.Join(names, ", ")
+}

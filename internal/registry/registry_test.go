@@ -1,0 +1,113 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/scheduler"
+)
+
+func TestParseModel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want economy.Model
+	}{
+		{"commodity", economy.Commodity},
+		{"bid", economy.BidBased},
+		{"bid-based", economy.BidBased},
+	}
+	for _, c := range cases {
+		m, err := ParseModel(c.in)
+		if err != nil || m != c.want {
+			t.Errorf("ParseModel(%q) = %v, %v; want %v", c.in, m, err, c.want)
+		}
+	}
+	if _, err := ParseModel("auction"); err == nil {
+		t.Error("ParseModel accepted an unknown model")
+	}
+}
+
+func TestParseModels(t *testing.T) {
+	both, err := ParseModels("both")
+	if err != nil || len(both) != 2 || both[0] != economy.Commodity || both[1] != economy.BidBased {
+		t.Errorf("ParseModels(both) = %v, %v", both, err)
+	}
+	one, err := ParseModels("bid")
+	if err != nil || len(one) != 1 || one[0] != economy.BidBased {
+		t.Errorf("ParseModels(bid) = %v, %v", one, err)
+	}
+	if _, err := ParseModels("neither"); err == nil {
+		t.Error("ParseModels accepted an unknown selector")
+	}
+}
+
+func TestParseSets(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []bool
+	}{
+		{"A", []bool{false}},
+		{"b", []bool{true}},
+		{"both", []bool{false, true}},
+		{"BOTH", []bool{false, true}},
+	}
+	for _, c := range cases {
+		got, err := ParseSets(c.in)
+		if err != nil || len(got) != len(c.want) {
+			t.Errorf("ParseSets(%q) = %v, %v; want %v", c.in, got, err, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ParseSets(%q) = %v; want %v", c.in, got, c.want)
+			}
+		}
+	}
+	if _, err := ParseSets("C"); err == nil {
+		t.Error("ParseSets accepted an unknown set")
+	}
+}
+
+// PolicySpec enforces Table V membership: every (policy, model) pair in the
+// matrix resolves, and every pair outside it is refused.
+func TestPolicySpecMatrix(t *testing.T) {
+	for _, spec := range scheduler.Specs() {
+		for _, m := range []economy.Model{economy.Commodity, economy.BidBased} {
+			evaluated := false
+			for _, sm := range spec.Models {
+				if sm == m {
+					evaluated = true
+				}
+			}
+			got, err := PolicySpec(spec.Name, m)
+			if evaluated {
+				if err != nil {
+					t.Errorf("PolicySpec(%s, %s): %v", spec.Name, m, err)
+				} else if got.Name != spec.Name {
+					t.Errorf("PolicySpec(%s, %s) resolved %s", spec.Name, m, got.Name)
+				}
+			} else if err == nil {
+				t.Errorf("PolicySpec(%s, %s) accepted a pair outside Table V", spec.Name, m)
+			}
+		}
+	}
+	if _, err := PolicySpec("NoSuchPolicy", economy.Commodity); err == nil {
+		t.Error("PolicySpec accepted an unknown policy")
+	}
+}
+
+func TestListPolicies(t *testing.T) {
+	lines := ListPolicies()
+	if len(lines) != len(scheduler.Specs())+1 {
+		t.Fatalf("ListPolicies returned %d lines, want %d", len(lines), len(scheduler.Specs())+1)
+	}
+	if !strings.HasPrefix(lines[0], "Policy") {
+		t.Errorf("header line: %q", lines[0])
+	}
+	for i, spec := range scheduler.Specs() {
+		if !strings.HasPrefix(lines[i+1], spec.Name) {
+			t.Errorf("line %d %q does not lead with %s", i+1, lines[i+1], spec.Name)
+		}
+	}
+}

@@ -117,6 +117,45 @@ func (l *libraPolicy) NodeDown(node int) {
 // NodeUp repairs a node; its capacity becomes bookable again.
 func (l *libraPolicy) NodeUp(node int) { l.ts.Repair(node) }
 
+// Quote implements Quoter: the commodity charge the family's pricing
+// function would collect for j against the machine's current commitments.
+// For a job just accepted it returns the recorded charge exactly; otherwise
+// Libra and LibraRiskD quote the static deadline-incentive price, and
+// Libra+$ quotes its load-dynamic price over the nodes its best-fit
+// selection would pick now (falling back to the static price when the job
+// cannot be placed at all, so an infeasible job still gets a meaningful
+// number to compare against its budget).
+func (l *libraPolicy) Quote(j *workload.Job) float64 {
+	if c, ok := l.charge[j]; ok {
+		return c
+	}
+	static := economy.LibraCharge(j.Estimate, j.Deadline, l.gamma, l.delta)
+	if l.variant != variantLibraDollar || j.Deadline <= 0 {
+		return static
+	}
+	share := j.Estimate / j.Deadline
+	if share > 1 {
+		return static
+	}
+	candidates := l.ts.CandidateNodes(share)
+	if len(candidates) < j.Procs {
+		return static
+	}
+	return economy.LibraDollarCharge(j.Estimate, l.dollarPrices(j, share, candidates[:j.Procs]))
+}
+
+// dollarPrices computes Libra+$'s per-second price on each selected node
+// for a job holding the given share over its deadline window.
+func (l *libraPolicy) dollarPrices(j *workload.Job, share float64, nodes []int) []float64 {
+	prices := make([]float64, len(nodes))
+	for i, n := range nodes {
+		committedFrac := l.ts.CommittedSeconds(n, j.Deadline) / j.Deadline
+		freeAfter := 1 - committedFrac - share
+		prices[i] = economy.LibraDollarPricePerSec(l.ctx.BasePrice, l.alpha, l.beta, freeAfter)
+	}
+	return prices
+}
+
 func (l *libraPolicy) Submit(j *workload.Job) {
 	share := j.Estimate / j.Deadline
 	if share > 1 {
@@ -148,13 +187,7 @@ func (l *libraPolicy) Submit(j *workload.Job) {
 			// RESMax is the node's capacity over the job's deadline window
 			// (d processor-seconds); RESFree deducts the shares other jobs
 			// have booked within that window plus this job's own share.
-			prices := make([]float64, len(nodes))
-			for i, n := range nodes {
-				committedFrac := l.ts.CommittedSeconds(n, j.Deadline) / j.Deadline
-				freeAfter := 1 - committedFrac - share
-				prices[i] = economy.LibraDollarPricePerSec(l.ctx.BasePrice, l.alpha, l.beta, freeAfter)
-			}
-			cost = economy.LibraDollarCharge(j.Estimate, prices)
+			cost = economy.LibraDollarCharge(j.Estimate, l.dollarPrices(j, share, nodes))
 		default:
 			cost = economy.LibraCharge(j.Estimate, j.Deadline, l.gamma, l.delta)
 		}

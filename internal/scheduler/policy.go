@@ -174,18 +174,30 @@ func DefaultRunConfig(m economy.Model) RunConfig {
 	return RunConfig{Nodes: 128, Model: m, BasePrice: economy.DefaultBasePrice}
 }
 
-// Run simulates the full workload under the policy built by factory and
-// returns the objective report. Jobs must be sorted by submission time and
-// carry QoS parameters.
-func Run(jobs []*workload.Job, factory Factory, cfg RunConfig) (metrics.Report, error) {
+// validate checks the machine and pricing parameters.
+func (cfg RunConfig) validate() error {
 	if cfg.Nodes <= 0 {
-		return metrics.Report{}, fmt.Errorf("scheduler: non-positive node count %d", cfg.Nodes)
+		return fmt.Errorf("scheduler: non-positive node count %d", cfg.Nodes)
 	}
 	if cfg.BasePrice <= 0 {
-		return metrics.Report{}, fmt.Errorf("scheduler: non-positive base price %v", cfg.BasePrice)
+		return fmt.Errorf("scheduler: non-positive base price %v", cfg.BasePrice)
 	}
 	if len(cfg.NodeRatings) != 0 && len(cfg.NodeRatings) != cfg.Nodes {
-		return metrics.Report{}, fmt.Errorf("scheduler: %d node ratings for %d nodes", len(cfg.NodeRatings), cfg.Nodes)
+		return fmt.Errorf("scheduler: %d node ratings for %d nodes", len(cfg.NodeRatings), cfg.Nodes)
+	}
+	return nil
+}
+
+// Run simulates the full workload under the policy built by factory and
+// returns the objective report. Jobs must be sorted by submission time and
+// carry QoS parameters. It is the batch entry point over the step-driven
+// Session: every job is validated up front (nothing is simulated on invalid
+// input), then submitted in order and the session finalized — which
+// dispatches the identical event sequence as scheduling every arrival up
+// front (see Session).
+func Run(jobs []*workload.Job, factory Factory, cfg RunConfig) (metrics.Report, error) {
+	if err := cfg.validate(); err != nil {
+		return metrics.Report{}, err
 	}
 	prev := -1.0
 	for _, j := range jobs {
@@ -203,55 +215,14 @@ func Run(jobs []*workload.Job, factory Factory, cfg RunConfig) (metrics.Report, 
 			return metrics.Report{}, fmt.Errorf("scheduler: job %d wider (%d) than the machine (%d)", j.ID, j.Procs, cfg.Nodes)
 		}
 	}
-	engine := sim.NewEngine()
-	collector := metrics.NewCollector()
-	ctx := &Context{
-		Engine:      engine,
-		Collector:   collector,
-		Model:       cfg.Model,
-		Nodes:       cfg.Nodes,
-		BasePrice:   cfg.BasePrice,
-		NodeRatings: cfg.NodeRatings,
-		Prices:      cfg.Prices,
+	s, err := NewSession(factory, cfg)
+	if err != nil {
+		return metrics.Report{}, err
 	}
-	policy := factory(ctx)
 	for _, j := range jobs {
-		j := j
-		engine.MustSchedule(sim.Time(j.Submit), "submit job", func() {
-			collector.Submitted(j)
-			policy.Submit(j)
-		})
-	}
-	if cfg.Faults != nil && cfg.Faults.Enabled() {
-		fi, ok := policy.(FaultInjectable)
-		if !ok {
-			return metrics.Report{}, fmt.Errorf("scheduler: policy %s cannot absorb fault injection", policy.Name())
-		}
-		events, err := faults.Generate(*cfg.Faults, cfg.Nodes)
-		if err != nil {
+		if _, err := s.submit(j); err != nil {
 			return metrics.Report{}, err
 		}
-		for _, ev := range events {
-			ev := ev
-			label := "repair node"
-			if ev.Down {
-				label = "fail node"
-			}
-			engine.MustSchedule(sim.Time(ev.Time), label, func() {
-				if ev.Down {
-					fi.NodeDown(ev.Node)
-				} else {
-					fi.NodeUp(ev.Node)
-				}
-			})
-		}
 	}
-	engine.Run()
-	policy.Drain()
-	engine.Run() // drain may have released queue state needing no events, but keep symmetric
-	report := collector.Report()
-	if ur, ok := policy.(UtilizationReporter); ok {
-		report.Utilization = ur.Utilization()
-	}
-	return report, nil
+	return s.Finalize(), nil
 }

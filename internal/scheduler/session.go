@@ -1,0 +1,243 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"repro/internal/economy"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Admission is the synchronous admission outcome visible when a submission
+// returns: the Libra family and FirstReward settle every job at submission,
+// while the backfilling policies apply the paper's "generous" admission
+// control and decide only when the job reaches the head of the queue.
+type Admission int
+
+const (
+	// AdmissionPending means the job is queued and the decision is deferred
+	// (generous admission control).
+	AdmissionPending Admission = iota
+	// AdmissionAccepted means the SLA was accepted at submission.
+	AdmissionAccepted
+	// AdmissionRejected means the job was refused at submission.
+	AdmissionRejected
+)
+
+// String returns the service-layer spelling of the outcome.
+func (a Admission) String() string {
+	switch a {
+	case AdmissionPending:
+		return "queued"
+	case AdmissionAccepted:
+		return "accepted"
+	case AdmissionRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("Admission(%d)", int(a))
+	}
+}
+
+// Decision is what the service front-end reports for one submission: the
+// synchronous admission outcome plus the price quote under the session's
+// economic model — the commodity charge the provider would collect, or the
+// job's bid (its budget) under the bid-based model, where the provider's
+// actual utility can later fall below the quote through delay penalties.
+type Decision struct {
+	Admission Admission
+	Quote     float64
+}
+
+// Quoter is implemented by policies whose commodity price differs from the
+// flat base charge (the Libra family's static and load-dynamic pricing
+// functions). Quote returns the charge the policy would collect for the job
+// given the machine's current commitments; for a job just accepted it must
+// equal the recorded charge.
+type Quoter interface {
+	Quote(j *workload.Job) float64
+}
+
+// Session owns one resumable simulation: the event engine, the outcome
+// collector, and a live policy, advanced in virtual time one submission at
+// a time. It is the step-driven core both of the batch Run entry point and
+// of the internal/serve request-driven daemon, which is what makes a
+// scripted online session bit-for-bit identical to the equivalent offline
+// run: arrivals are scheduled in the sim.ClassArrival band and the engine
+// dispatches exactly through each arrival, so the event order matches a
+// run that scheduled every arrival up front.
+//
+// A Session is not safe for concurrent use; the serve layer wraps it in a
+// per-session mutex.
+type Session struct {
+	engine    *sim.Engine
+	collector *metrics.Collector
+	ctx       *Context
+	policy    Policy
+	finalized bool
+	final     metrics.Report
+	// lastSubmit enforces non-decreasing submission times, mirroring the
+	// batch validation (the engine itself would also refuse to schedule in
+	// the past, but with a less helpful error).
+	lastSubmit float64
+}
+
+// NewSession validates the configuration, builds the policy, and schedules
+// the configured fault process (in the sim.ClassInjected band, so failures
+// at an arrival's exact instant order after the arrival, as in a batch
+// run). The session starts at virtual time zero with no jobs.
+func NewSession(factory Factory, cfg RunConfig) (*Session, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine()
+	collector := metrics.NewCollector()
+	ctx := &Context{
+		Engine:      engine,
+		Collector:   collector,
+		Model:       cfg.Model,
+		Nodes:       cfg.Nodes,
+		BasePrice:   cfg.BasePrice,
+		NodeRatings: cfg.NodeRatings,
+		Prices:      cfg.Prices,
+	}
+	s := &Session{
+		engine:     engine,
+		collector:  collector,
+		ctx:        ctx,
+		policy:     factory(ctx),
+		lastSubmit: -1,
+	}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		fi, ok := s.policy.(FaultInjectable)
+		if !ok {
+			return nil, fmt.Errorf("scheduler: policy %s cannot absorb fault injection", s.policy.Name())
+		}
+		events, err := faults.Generate(*cfg.Faults, cfg.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		for _, ev := range events {
+			ev := ev
+			label := "repair node"
+			if ev.Down {
+				label = "fail node"
+			}
+			engine.MustScheduleClass(sim.Time(ev.Time), sim.ClassInjected, label, func() {
+				if ev.Down {
+					fi.NodeDown(ev.Node)
+				} else {
+					fi.NodeUp(ev.Node)
+				}
+			})
+		}
+	}
+	return s, nil
+}
+
+// PolicyName returns the live policy's display name.
+func (s *Session) PolicyName() string { return s.policy.Name() }
+
+// Now returns the session's virtual time: the submission time of the last
+// job, or zero before the first submission. Events beyond it stay queued
+// until a later submission or Finalize advances past them.
+func (s *Session) Now() float64 { return float64(s.engine.Now()) }
+
+// Finalized reports whether Finalize has run.
+func (s *Session) Finalized() bool { return s.finalized }
+
+// Submit validates the job, advances the simulation exactly through its
+// arrival, and returns the admission decision and price quote. Submission
+// times must be non-decreasing; the job must carry QoS parameters and fit
+// the machine.
+func (s *Session) Submit(j *workload.Job) (Decision, error) {
+	adm, err := s.submit(j)
+	if err != nil {
+		return Decision{}, err
+	}
+	return Decision{Admission: adm, Quote: s.quote(j)}, nil
+}
+
+// submit is the quote-free submission path the batch Run uses: pricing a
+// job the caller will never read (the Libra family walks candidate nodes
+// to quote) is pure overhead at trace scale.
+func (s *Session) submit(j *workload.Job) (Admission, error) {
+	if s.finalized {
+		return AdmissionPending, fmt.Errorf("scheduler: job %d submitted to a finalized session", j.ID)
+	}
+	if err := j.Validate(); err != nil {
+		return AdmissionPending, err
+	}
+	if !j.HasQoS() {
+		return AdmissionPending, fmt.Errorf("scheduler: job %d has no QoS parameters", j.ID)
+	}
+	if j.Submit < s.lastSubmit {
+		return AdmissionPending, fmt.Errorf("scheduler: job %d out of submission order", j.ID)
+	}
+	if j.Procs > s.ctx.Nodes {
+		return AdmissionPending, fmt.Errorf("scheduler: job %d wider (%d) than the machine (%d)", j.ID, j.Procs, s.ctx.Nodes)
+	}
+	s.lastSubmit = j.Submit
+	arrival := s.engine.MustScheduleClass(sim.Time(j.Submit), sim.ClassArrival, "submit job", func() {
+		s.collector.Submitted(j)
+		s.policy.Submit(j)
+	})
+	s.engine.RunThrough(arrival)
+	switch o := s.collector.Outcome(j); {
+	case o.Accepted:
+		return AdmissionAccepted, nil
+	case o.Rejected:
+		return AdmissionRejected, nil
+	default:
+		return AdmissionPending, nil
+	}
+}
+
+// quote prices the job under the session's economic model at the current
+// instant: the bid itself under the bid-based model, otherwise the policy's
+// commodity charge (flat base charge unless the policy quotes its own
+// pricing function).
+func (s *Session) quote(j *workload.Job) float64 {
+	if s.ctx.Model == economy.BidBased {
+		return j.Budget
+	}
+	if q, ok := s.policy.(Quoter); ok {
+		return q.Quote(j)
+	}
+	return economy.BaseCharge(j.Estimate, s.ctx.PriceAt(float64(s.engine.Now())))
+}
+
+// Snapshot returns the live mid-simulation report over everything settled
+// so far, without advancing virtual time. Jobs still queued or running
+// count as submitted (and possibly accepted) but not finished, so the
+// objectives move as the session progresses.
+func (s *Session) Snapshot() metrics.Report {
+	if s.finalized {
+		return s.final
+	}
+	report := s.collector.Report()
+	if ur, ok := s.policy.(UtilizationReporter); ok {
+		report.Utilization = ur.Utilization()
+	}
+	return report
+}
+
+// Finalize drains the session — no further arrivals — and returns the
+// final report: every remaining event is dispatched, the policy writes off
+// jobs that could never start, and the objectives are computed exactly as
+// the batch Run does. Finalize is idempotent; Submit fails afterwards.
+func (s *Session) Finalize() metrics.Report {
+	if s.finalized {
+		return s.final
+	}
+	s.engine.Run()
+	s.policy.Drain()
+	s.engine.Run() // drain may have released queue state needing no events, but keep symmetric
+	s.final = s.collector.Report()
+	if ur, ok := s.policy.(UtilizationReporter); ok {
+		s.final.Utilization = ur.Utilization()
+	}
+	s.finalized = true
+	return s.final
+}

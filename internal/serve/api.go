@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/metrics"
+)
+
+// CreateSessionRequest parameterizes one simulation session. Policy and
+// Model name a Table V pair (the registry refuses pairs the paper does not
+// evaluate); Nodes and BasePrice default to the paper's machine (128 nodes,
+// $1/s). Seed, FaultIntensity, and FaultHorizon configure the deterministic
+// failure process; intensity none (the default) runs the paper's
+// never-failing machine, and an enabled intensity requires an explicit
+// horizon because an online session cannot know its workload's extent up
+// front.
+type CreateSessionRequest struct {
+	Policy         string  `json:"policy"`
+	Model          string  `json:"model"`
+	Nodes          int     `json:"nodes,omitempty"`
+	BasePrice      float64 `json:"base_price,omitempty"`
+	Seed           int64   `json:"seed,omitempty"`
+	FaultIntensity string  `json:"fault_intensity,omitempty"`
+	FaultHorizon   float64 `json:"fault_horizon,omitempty"`
+}
+
+// CreateSessionResponse echoes the session's resolved parameterization
+// under its assigned ID.
+type CreateSessionResponse struct {
+	ID        string  `json:"id"`
+	Policy    string  `json:"policy"`
+	Model     string  `json:"model"`
+	Nodes     int     `json:"nodes"`
+	BasePrice float64 `json:"base_price"`
+}
+
+// SubmitJobRequest submits one job with its QoS terms. Submit is the
+// absolute virtual submission time; Advance instead offsets from the
+// session's current virtual time (exactly one may be set when nonzero).
+// Submission times must be non-decreasing across the session, as in the
+// batch trace. ID defaults to the next sequential job number, Estimate to
+// Runtime, and Procs to 1.
+type SubmitJobRequest struct {
+	ID          int     `json:"id,omitempty"`
+	Submit      float64 `json:"submit,omitempty"`
+	Advance     float64 `json:"advance,omitempty"`
+	Runtime     float64 `json:"runtime"`
+	Estimate    float64 `json:"estimate,omitempty"`
+	Procs       int     `json:"procs,omitempty"`
+	Deadline    float64 `json:"deadline"`
+	Budget      float64 `json:"budget"`
+	PenaltyRate float64 `json:"penalty_rate,omitempty"`
+	HighUrgency bool    `json:"high_urgency,omitempty"`
+}
+
+// SubmitJobResponse is the service's synchronous answer: the admission
+// outcome ("accepted", "rejected", or "queued" under generous admission
+// control), the price quote under the session's economic model, and the
+// session's virtual time after the submission.
+type SubmitJobResponse struct {
+	Job       int     `json:"job"`
+	Admission string  `json:"admission"`
+	Quote     float64 `json:"quote"`
+	Now       float64 `json:"now"`
+}
+
+// ReportResponse is the session's objective report — live mid-session, or
+// final once finalized — plus the raw risk-analysis scores per objective.
+type ReportResponse struct {
+	ID        string             `json:"id"`
+	Policy    string             `json:"policy"`
+	Finalized bool               `json:"finalized"`
+	Report    metrics.Report     `json:"report"`
+	Risk      map[string]float64 `json:"risk"`
+}
+
+// errorResponse is the JSON error envelope every non-2xx response carries.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v with the given status. Encoding failures are
+// unrecoverable mid-response; the status line is already out.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //lint:allow errignore — headers are sent; nothing useful can follow a mid-body failure
+}
+
+// writeError writes the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// readJSON strictly decodes the request body into v: unknown fields and
+// trailing garbage are errors, so a mistyped field name fails loudly
+// instead of silently falling back to a default.
+func readJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}

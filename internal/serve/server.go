@@ -1,0 +1,370 @@
+// Package serve is the service layer of the reproduction: a stdlib
+// net/http front-end that turns the batch simulation into a request-driven
+// utility-computing daemon. Each session owns one step-driven
+// scheduler.Session advanced in virtual time per request, so a scripted
+// online session is bit-for-bit identical to the equivalent offline
+// scheduler.Run — the determinism bridge the tests pin. Wall-clock time
+// never reaches a simulation; it appears only at annotated
+// operator-accounting sites (idle eviction).
+package serve
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"repro/internal/economy"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/risk"
+	"repro/internal/scheduler"
+	"repro/internal/workload"
+)
+
+// Config parameterizes the daemon's operator-facing limits.
+type Config struct {
+	// MaxSessions caps live sessions; creates beyond it are shed with 503
+	// (default 1024).
+	MaxSessions int
+	// MaxConcurrent bounds in-flight /v1 requests; excess load is shed with
+	// 503 + Retry-After instead of queueing without bound (default
+	// 4×GOMAXPROCS).
+	MaxConcurrent int
+	// IdleTimeout is how long a session may go untouched before the sweeper
+	// evicts it (default 30m).
+	IdleTimeout time.Duration
+	// SweepInterval is the sweeper's period (default 1m).
+	SweepInterval time.Duration
+	// Now overrides the wall clock for tests. Operator accounting only —
+	// simulations run in virtual time regardless.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 30 * time.Minute
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = time.Minute
+	}
+	return c
+}
+
+// Server is the HTTP service: the session registry, the admission
+// limiter, and the route table.
+type Server struct {
+	cfg   Config
+	store *store
+	sem   chan struct{}
+	vars  *counters
+	mux   *http.ServeMux
+}
+
+// New builds a Server with its routes mounted.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		store: newStore(cfg.MaxSessions, cfg.Now),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		vars:  publishVars(),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.mux.Handle("POST /v1/sessions", s.limited(s.handleCreate))
+	s.mux.Handle("POST /v1/sessions/{id}/jobs", s.limited(s.handleSubmit))
+	s.mux.Handle("GET /v1/sessions/{id}/report", s.limited(s.handleReport))
+	s.mux.Handle("GET /v1/sessions/{id}/journal", s.limited(s.handleJournal))
+	s.mux.Handle("POST /v1/sessions/{id}/finalize", s.limited(s.handleFinalize))
+	s.mux.Handle("DELETE /v1/sessions/{id}", s.limited(s.handleDelete))
+	return s
+}
+
+// Handler returns the daemon's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Sessions returns the live session count.
+func (s *Server) Sessions() int { return s.store.size() }
+
+// SweepIdle evicts sessions idle past the configured timeout, returning
+// the evicted IDs.
+func (s *Server) SweepIdle() []string {
+	evicted := s.store.sweepIdle(s.cfg.IdleTimeout)
+	s.vars.sessionsEvicted.Add(int64(len(evicted)))
+	return evicted
+}
+
+// RunSweeper periodically sweeps idle sessions until ctx is cancelled.
+func (s *Server) RunSweeper(ctx context.Context) {
+	t := time.NewTicker(s.cfg.SweepInterval) //lint:allow wallclock — idle eviction runs on operator time, never simulation time
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.SweepIdle()
+		}
+	}
+}
+
+// limited is the bounded-concurrency admission gate around the /v1 routes:
+// a full semaphore sheds the request with 503 + Retry-After rather than
+// letting unbounded requests pile onto session locks.
+func (s *Server) limited(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			h(w, r)
+		default:
+			s.vars.requestsShed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "server at its concurrency limit; retry shortly")
+		}
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": s.store.size()})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	m, err := registry.ParseModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spec, err := registry.PolicySpec(req.Policy, m)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	intensity, err := faults.ParseIntensity(req.FaultIntensity)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg := scheduler.RunConfig{Nodes: req.Nodes, Model: m, BasePrice: req.BasePrice}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 128
+	}
+	if cfg.BasePrice == 0 {
+		cfg.BasePrice = economy.DefaultBasePrice
+	}
+	header := obs.SessionHeader{
+		Policy:    spec.Name,
+		Model:     m.String(),
+		Nodes:     cfg.Nodes,
+		BasePrice: cfg.BasePrice,
+	}
+	if intensity.Enabled() {
+		if req.FaultHorizon <= 0 {
+			writeError(w, http.StatusBadRequest,
+				"fault intensity %s requires a positive fault_horizon (an online session cannot infer its workload's extent)", intensity)
+			return
+		}
+		f := intensity.Config(req.Seed, req.FaultHorizon)
+		cfg.Faults = &f
+		header.Seed = req.Seed
+		header.FaultIntensity = intensity.String()
+		header.FaultHorizon = req.FaultHorizon
+	} else if req.FaultHorizon != 0 {
+		writeError(w, http.StatusBadRequest, "fault_horizon set without a fault intensity")
+		return
+	}
+	driver, err := scheduler.NewSession(spec.New, cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	header.ID = s.store.allocID()
+	sess, err := s.store.insert(header.ID, driver, obs.NewSessionJournal(header))
+	if err != nil {
+		if errors.Is(err, errFull) {
+			s.vars.requestsShed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "session registry full (%d live)", s.cfg.MaxSessions)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.vars.sessionsCreated.Add(1)
+	writeJSON(w, http.StatusCreated, CreateSessionResponse{
+		ID: sess.id, Policy: spec.Name, Model: m.String(),
+		Nodes: cfg.Nodes, BasePrice: cfg.BasePrice,
+	})
+}
+
+// getSession resolves {id}, writing the 404 itself when absent.
+func (s *Server) getSession(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.store.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+	}
+	return sess, ok
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	var req SubmitJobRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Submit != 0 && req.Advance != 0 {
+		writeError(w, http.StatusBadRequest, "set submit or advance, not both")
+		return
+	}
+	if req.Submit < 0 || req.Advance < 0 {
+		writeError(w, http.StatusBadRequest, "submit and advance must be non-negative")
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	j := &workload.Job{
+		ID: req.ID, Submit: req.Submit, Runtime: req.Runtime, Estimate: req.Estimate,
+		Procs: req.Procs, Deadline: req.Deadline, Budget: req.Budget, PenaltyRate: req.PenaltyRate,
+		HighUrgency: req.HighUrgency,
+	}
+	if req.Advance != 0 {
+		j.Submit = sess.driver.Now() + req.Advance
+	}
+	if j.ID == 0 {
+		j.ID = sess.nextJob
+	}
+	if j.Estimate == 0 {
+		j.Estimate = j.Runtime
+	}
+	if j.Procs == 0 {
+		j.Procs = 1
+	}
+	d, err := sess.driver.Submit(j)
+	if err != nil {
+		status := http.StatusBadRequest
+		if sess.driver.Finalized() {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	if j.ID >= sess.nextJob {
+		sess.nextJob = j.ID + 1
+	}
+	sess.journal.Decision(obs.SessionDecision{
+		Job: j.ID, Submit: j.Submit, Runtime: j.Runtime, Estimate: j.Estimate,
+		Procs: j.Procs, Deadline: j.Deadline, Budget: j.Budget, PenaltyRate: j.PenaltyRate,
+		Admission: d.Admission.String(), Quote: d.Quote,
+	})
+	s.vars.jobsSubmitted.Add(1)
+	writeJSON(w, http.StatusOK, SubmitJobResponse{
+		Job: j.ID, Admission: d.Admission.String(), Quote: d.Quote, Now: sess.driver.Now(),
+	})
+}
+
+// riskScores extracts the raw per-objective risk-analysis inputs from a
+// report. JSON object keys marshal sorted, so the rendering is
+// deterministic.
+func riskScores(rep metrics.Report) map[string]float64 {
+	scores := make(map[string]float64, len(risk.AllObjectives))
+	for _, o := range risk.AllObjectives {
+		scores[o.String()] = risk.Raw(o, rep)
+	}
+	return scores
+}
+
+func (s *Server) reportResponse(sess *session, rep metrics.Report) ReportResponse {
+	return ReportResponse{
+		ID: sess.id, Policy: sess.driver.PolicyName(), Finalized: sess.driver.Finalized(),
+		Report: rep, Risk: riskScores(rep),
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.reportResponse(sess, sess.driver.Snapshot()))
+}
+
+func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if err := sess.journal.Err(); err != nil {
+		writeError(w, http.StatusInternalServerError, "journal: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Write(sess.journal.Bytes()) //lint:allow errignore — headers are sent; nothing useful can follow a mid-body failure
+}
+
+// finalizeLocked drains the session and appends the journal's final line
+// exactly once. Callers hold sess.mu.
+func finalizeLocked(sess *session) metrics.Report {
+	rep := sess.driver.Finalize()
+	if !sess.finalLogged {
+		sess.journal.Final(rep)
+		sess.finalLogged = true
+	}
+	return rep
+}
+
+func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.reportResponse(sess, finalizeLocked(sess)))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	sess.mu.Lock()
+	rep := finalizeLocked(sess)
+	resp := s.reportResponse(sess, rep)
+	sess.mu.Unlock()
+	if s.store.remove(sess.id) {
+		s.vars.sessionsEvicted.Add(1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"expvar"
+	"sync"
+)
+
+// counters are the process-wide expvar gauges the daemon serves under
+// /debug/vars:
+//
+//	serve.sessions_created   sessions created over the process lifetime
+//	serve.sessions_evicted   sessions removed (DELETE or idle sweep)
+//	serve.jobs_submitted     jobs accepted into a session's trace
+//	serve.requests_rejected  requests shed by the concurrency or capacity limit
+type counters struct {
+	sessionsCreated *expvar.Int
+	sessionsEvicted *expvar.Int
+	jobsSubmitted   *expvar.Int
+	requestsShed    *expvar.Int
+}
+
+var (
+	varsOnce sync.Once
+	vars     *counters
+)
+
+// publishVars returns the process-wide counters, publishing the expvar
+// variables on first call. expvar registration is global and permanent,
+// hence the singleton — every Server in a process (tests included) shares
+// them.
+func publishVars() *counters {
+	varsOnce.Do(func() {
+		vars = &counters{
+			sessionsCreated: expvar.NewInt("serve.sessions_created"),
+			sessionsEvicted: expvar.NewInt("serve.sessions_evicted"),
+			jobsSubmitted:   expvar.NewInt("serve.jobs_submitted"),
+			requestsShed:    expvar.NewInt("serve.requests_rejected"),
+		}
+	})
+	return vars
+}

@@ -47,11 +47,40 @@ const Infinity Time = Time(math.MaxFloat64)
 // call.
 type Handler func()
 
+// Class is an event's tie-break band at equal virtual time: events fire in
+// (time, class, scheduling order) order. The kernel attaches no meaning to
+// the bands beyond their ordering; the scheduler layer uses them so that a
+// step-driven session — which schedules workload arrivals one request at a
+// time — dispatches bit-for-bit in the same order as a batch run that
+// schedules every arrival up front (arrivals first at a time tie, then
+// injected environment events, then everything scheduled while running).
+type Class uint8
+
+const (
+	// ClassArrival is the band of workload arrivals: at a time tie they
+	// fire before any other event, in submission order.
+	ClassArrival Class = iota
+	// ClassInjected is the band of injected environment events (node
+	// failures and repairs): after arrivals, before ordinary events.
+	ClassInjected
+	// ClassDefault is the band of every normally scheduled event; Schedule
+	// and After use it.
+	ClassDefault
+)
+
+// classShift packs the class into the top bits of the ordering key, so the
+// hot-path comparison stays a single uint64 compare. The sequence counter
+// never reaches 2^62.
+const classShift = 62
+
 // event is the pooled queue record. Records are owned by the engine and
 // recycled through its free list; the exported Event handle guards against
 // observing a recycled record via the generation counter.
 type event struct {
-	time    Time
+	time Time
+	// seq is the ordering key: the event's Class in the top bits over the
+	// engine's scheduling sequence number, so one integer compare resolves
+	// both the band and the within-band tie.
 	seq     uint64
 	gen     uint64
 	index   int32 // heap index; -1 once removed
@@ -133,6 +162,11 @@ var ErrPast = errors.New("sim: event scheduled in the past")
 // The label should be a static string: it is stored, never formatted, and
 // hot paths must not pay for a fmt.Sprintf that is almost never read.
 func (e *Engine) Schedule(t Time, label string, h Handler) (Event, error) {
+	return e.ScheduleClass(t, ClassDefault, label, h)
+}
+
+// ScheduleClass is Schedule with an explicit tie-break band (see Class).
+func (e *Engine) ScheduleClass(t Time, c Class, label string, h Handler) (Event, error) {
 	if t < e.now {
 		return Event{}, fmt.Errorf("%w: at %v, now %v (%s)", ErrPast, t, e.now, label)
 	}
@@ -141,7 +175,7 @@ func (e *Engine) Schedule(t Time, label string, h Handler) (Event, error) {
 	}
 	ev := e.alloc()
 	ev.time = t
-	ev.seq = e.seq
+	ev.seq = uint64(c)<<classShift | e.seq
 	ev.handler = h
 	ev.label = label
 	e.seq++
@@ -149,10 +183,24 @@ func (e *Engine) Schedule(t Time, label string, h Handler) (Event, error) {
 	return Event{ev: ev, gen: ev.gen, at: t, label: label}, nil
 }
 
+// MustScheduleClass is ScheduleClass for callers that guarantee t >= Now();
+// it panics on error.
+func (e *Engine) MustScheduleClass(t Time, c Class, label string, h Handler) Event {
+	ev, err := e.ScheduleClass(t, c, label, h)
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}
+
 // MustSchedule is Schedule for callers that guarantee t >= Now().
 // It panics on error; the simulation layers use it after clamping times.
+// It calls ScheduleClass directly rather than going through the Schedule
+// wrapper: the two-level call would push this body past the inlining
+// budget, and MustSchedule must stay inlinable — it is the hot-path entry
+// for every event the cluster models schedule.
 func (e *Engine) MustSchedule(t Time, label string, h Handler) Event {
-	ev, err := e.Schedule(t, label, h)
+	ev, err := e.ScheduleClass(t, ClassDefault, label, h)
 	if err != nil {
 		panic(err)
 	}
@@ -220,6 +268,21 @@ func (e *Engine) Run() {
 	}
 }
 
+// RunThrough dispatches events in order until the given event has fired,
+// leaving everything ordered after it — including later events at the same
+// virtual time — queued. It is how a step-driven session advances exactly
+// to one arrival's admission decision. A zero, fired, or cancelled handle
+// is a no-op; an empty queue stops the dispatch regardless.
+func (e *Engine) RunThrough(h Event) {
+	if e.running {
+		panic("sim: RunThrough re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for h.Pending() && e.Step() {
+	}
+}
+
 // RunUntil dispatches events with time <= horizon, then advances the clock
 // to horizon (if it is ahead of the last event). Remaining events stay
 // queued.
@@ -259,8 +322,8 @@ func (e *Engine) recycle(ev *event) {
 	e.free = append(e.free, ev)
 }
 
-// less orders the heap by (time, seq): earlier time first, scheduling
-// order within a tie — the determinism contract.
+// less orders the heap by (time, seq): earlier time first, then the packed
+// (class, scheduling order) key within a tie — the determinism contract.
 func less(a, b *event) bool {
 	if a.time != b.time {
 		return a.time < b.time

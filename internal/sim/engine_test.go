@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -247,5 +248,120 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 			e.MustSchedule(Time(j%97), "b", func() {})
 		}
 		e.Run()
+	}
+}
+
+func TestScheduleClassOrdersBandsAtTimeTie(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	note := func(s string) Handler { return func() { order = append(order, s) } }
+	// Schedule in deliberately scrambled band order at the same instant:
+	// the dispatch must come out arrival, injected, default — and within a
+	// band, in scheduling order.
+	e.MustScheduleClass(5, ClassDefault, "d1", note("d1"))
+	e.MustScheduleClass(5, ClassInjected, "i1", note("i1"))
+	e.MustScheduleClass(5, ClassArrival, "a1", note("a1"))
+	e.MustScheduleClass(5, ClassDefault, "d2", note("d2"))
+	e.MustScheduleClass(5, ClassArrival, "a2", note("a2"))
+	e.MustScheduleClass(5, ClassInjected, "i2", note("i2"))
+	// An earlier default-band event still beats every later-time band.
+	e.MustScheduleClass(3, ClassDefault, "d0", note("d0"))
+	e.Run()
+	want := []string{"d0", "a1", "a2", "i1", "i2", "d1", "d2"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+func TestScheduleClassEquivalentToUpfrontScheduling(t *testing.T) {
+	// The bridge invariant behind the step-driven session driver: arrivals
+	// scheduled lazily in the arrival band interleave exactly like arrivals
+	// scheduled up front in the default band before anything else.
+	type firing struct {
+		at Time
+		id string
+	}
+	run := func(lazy bool) []firing {
+		e := NewEngine()
+		var out []firing
+		note := func(id string) Handler {
+			return func() { out = append(out, firing{e.Now(), id}) }
+		}
+		arrivals := []Time{0, 2, 2, 4, 4}
+		chain := func(at Time, id string) Handler {
+			// Each arrival schedules a same-instant and a +2 follow-up,
+			// creating time ties with later arrivals.
+			return func() {
+				out = append(out, firing{e.Now(), id})
+				e.MustSchedule(e.Now(), id+"/now", note(id+"/now"))
+				e.MustSchedule(e.Now()+2, id+"/later", note(id+"/later"))
+			}
+		}
+		if lazy {
+			for i, at := range arrivals {
+				id := fmt.Sprintf("a%d", i)
+				h := e.MustScheduleClass(at, ClassArrival, id, chain(at, id))
+				e.RunThrough(h)
+			}
+			e.Run()
+		} else {
+			for i, at := range arrivals {
+				id := fmt.Sprintf("a%d", i)
+				e.MustSchedule(at, id, chain(at, id))
+			}
+			e.Run()
+		}
+		return out
+	}
+	batch, step := run(false), run(true)
+	if len(batch) != len(step) {
+		t.Fatalf("batch fired %d events, step-driven %d", len(batch), len(step))
+	}
+	for i := range batch {
+		if batch[i] != step[i] {
+			t.Fatalf("dispatch diverged at %d: batch %v, step %v", i, batch[i], step[i])
+		}
+	}
+}
+
+func TestRunThroughStopsAtEvent(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	note := func(s string) Handler { return func() { order = append(order, s) } }
+	e.MustSchedule(1, "before", note("before"))
+	target := e.MustSchedule(2, "target", note("target"))
+	e.MustSchedule(2, "same-time-after", note("after"))
+	e.MustSchedule(3, "later", note("later"))
+	e.RunThrough(target)
+	if got := fmt.Sprint(order); got != "[before target]" {
+		t.Fatalf("RunThrough dispatched %v, want [before target]", order)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("clock at %v, want 2", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("%d events pending, want 2", e.Pending())
+	}
+	// A fired handle is a no-op target; the queue is untouched.
+	e.RunThrough(target)
+	if e.Pending() != 2 {
+		t.Fatalf("RunThrough of a fired handle dispatched events")
+	}
+	// A cancelled handle likewise.
+	c := e.MustSchedule(4, "cancelled", note("cancelled"))
+	e.Cancel(c)
+	e.RunThrough(c)
+	if e.Pending() != 2 {
+		t.Fatalf("RunThrough of a cancelled handle dispatched events")
+	}
+	e.RunThrough(Event{})
+	e.Run()
+	if got := fmt.Sprint(order); got != "[before target after later]" {
+		t.Fatalf("final order %v", order)
 	}
 }
