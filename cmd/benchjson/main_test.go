@@ -87,17 +87,17 @@ func writeCaptureFile(t *testing.T, path string, c Capture) {
 
 func TestWriteDiffCountsRegressions(t *testing.T) {
 	old := capFixture(
-		Bench{Name: "sim/a", NsPerOp: 100, AllocsPerOp: 10},
-		Bench{Name: "sim/b", NsPerOp: 100, AllocsPerOp: 10},
+		Bench{Name: "sim/a", NsPerOp: 2e7, AllocsPerOp: 10},
+		Bench{Name: "sim/b", NsPerOp: 2e7, AllocsPerOp: 10},
 		Bench{Name: "sim/gone", NsPerOp: 1, AllocsPerOp: 1},
 	)
 	cur := capFixture(
-		Bench{Name: "sim/a", NsPerOp: 50, AllocsPerOp: 0},   // improved
-		Bench{Name: "sim/b", NsPerOp: 150, AllocsPerOp: 10}, // regressed 50%
+		Bench{Name: "sim/a", NsPerOp: 1e7, AllocsPerOp: 0},  // improved
+		Bench{Name: "sim/b", NsPerOp: 3e7, AllocsPerOp: 10}, // regressed 50%
 		Bench{Name: "sim/new", NsPerOp: 1, AllocsPerOp: 1},
 	)
 	var buf bytes.Buffer
-	n := writeDiff(&buf, "old.json", "new.json", old, cur, 0.10)
+	n := writeDiff(&buf, "old.json", "new.json", old, cur, 0.10, 0.10)
 	if n != 1 {
 		t.Fatalf("writeDiff regressions = %d, want 1", n)
 	}
@@ -106,6 +106,61 @@ func TestWriteDiffCountsRegressions(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("diff output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestWriteDiffSplitThresholds pins the two-threshold contract the CI gate
+// depends on: a loose ns/op bound tolerating runner noise while a tight
+// allocs/op bound still catches allocation regressions, and vice versa.
+func TestWriteDiffSplitThresholds(t *testing.T) {
+	old := capFixture(
+		Bench{Name: "sim/ns-noise", NsPerOp: 2e7, AllocsPerOp: 10},
+		Bench{Name: "sim/alloc-leak", NsPerOp: 2e7, AllocsPerOp: 10},
+	)
+	cur := capFixture(
+		Bench{Name: "sim/ns-noise", NsPerOp: 2.6e7, AllocsPerOp: 10}, // +30% ns, allocs flat
+		Bench{Name: "sim/alloc-leak", NsPerOp: 2e7, AllocsPerOp: 11}, // +10% allocs, ns flat
+	)
+	var buf bytes.Buffer
+	// Loose ns (40%), tight allocs (2%): only the alloc leak regresses.
+	if n := writeDiff(&buf, "o", "n", old, cur, 0.40, 0.02); n != 1 {
+		t.Fatalf("split thresholds flagged %d regressions, want 1 (alloc leak):\n%s", n, buf.String())
+	}
+	// Tight ns (10%), loose allocs (50%): only the ns jump regresses.
+	buf.Reset()
+	if n := writeDiff(&buf, "o", "n", old, cur, 0.10, 0.50); n != 1 {
+		t.Fatalf("split thresholds flagged %d regressions, want 1 (ns jump):\n%s", n, buf.String())
+	}
+}
+
+// TestWriteDiffSignificanceFloors pins the absolute-significance floors:
+// relative swings on sub-millisecond single-shot timings and on near-zero
+// allocs/op are measurement noise and must not trip the gate, while the
+// same relative swings above the floors must.
+func TestWriteDiffSignificanceFloors(t *testing.T) {
+	old := capFixture(
+		Bench{Name: "sim/micro", NsPerOp: 1.8e6, AllocsPerOp: 0},     // 1.8 ms single shot
+		Bench{Name: "sim/pooled", NsPerOp: 14, AllocsPerOp: 4e-8},    // amortized pool growth
+		Bench{Name: "suite/macro", NsPerOp: 300e6, AllocsPerOp: 1e6}, // 300 ms, 1 M allocs
+	)
+	cur := capFixture(
+		Bench{Name: "sim/micro", NsPerOp: 4.8e6, AllocsPerOp: 0},    // +167% ns under the 10 ms floor
+		Bench{Name: "sim/pooled", NsPerOp: 14, AllocsPerOp: 1.6e-7}, // +300% of ~nothing
+		Bench{Name: "suite/macro", NsPerOp: 300e6, AllocsPerOp: 1e6},
+	)
+	var buf bytes.Buffer
+	if n := writeDiff(&buf, "o", "n", old, cur, 0.40, 0.02); n != 0 {
+		t.Fatalf("sub-floor noise flagged %d regressions, want 0:\n%s", n, buf.String())
+	}
+	// The same relative deltas above the floors are real regressions.
+	cur2 := capFixture(
+		Bench{Name: "sim/micro", NsPerOp: 4.8e6, AllocsPerOp: 0},
+		Bench{Name: "sim/pooled", NsPerOp: 14, AllocsPerOp: 1.6e-7},
+		Bench{Name: "suite/macro", NsPerOp: 700e6, AllocsPerOp: 1.04e6}, // +133% ns, +4% allocs
+	)
+	buf.Reset()
+	if n := writeDiff(&buf, "o", "n", old, cur2, 0.40, 0.02); n != 1 {
+		t.Fatalf("above-floor regression flagged %d, want 1:\n%s", n, buf.String())
 	}
 }
 
@@ -128,8 +183,8 @@ func TestRunDiffModeAndGate(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := filepath.Join(dir, "old.json")
 	newPath := filepath.Join(dir, "new.json")
-	writeCaptureFile(t, oldPath, capFixture(Bench{Name: "sim/a", NsPerOp: 100, AllocsPerOp: 4}))
-	writeCaptureFile(t, newPath, capFixture(Bench{Name: "sim/a", NsPerOp: 400, AllocsPerOp: 4}))
+	writeCaptureFile(t, oldPath, capFixture(Bench{Name: "sim/a", NsPerOp: 1e7, AllocsPerOp: 4}))
+	writeCaptureFile(t, newPath, capFixture(Bench{Name: "sim/a", NsPerOp: 4e7, AllocsPerOp: 4}))
 
 	var out, errw bytes.Buffer
 	// Informational diff: regressions reported, no error.
@@ -146,6 +201,12 @@ func TestRunDiffModeAndGate(t *testing.T) {
 	// Gated diff within threshold passes.
 	if err := run([]string{"-diff", "-gate", "-threshold", "5.0", oldPath, newPath}, &out, &errw); err != nil {
 		t.Fatalf("gated diff within threshold errored: %v", err)
+	}
+	// -alloc-threshold defaults to -threshold: a loose shared threshold
+	// with an explicit tight alloc bound must still pass here (the
+	// regression is in ns/op, which the loose bound covers).
+	if err := run([]string{"-diff", "-gate", "-threshold", "5.0", "-alloc-threshold", "0.02", oldPath, newPath}, &out, &errw); err != nil {
+		t.Fatalf("gated diff with tight alloc threshold errored on an allocs-flat capture: %v", err)
 	}
 }
 

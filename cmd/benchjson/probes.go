@@ -32,6 +32,7 @@ func probes(config string) []probe {
 		{"cluster/timeshared-churn/nodes=32", probeTimeSharedChurn},
 		{"cluster/spaceshared-earliest/nodes=128", probeSpaceSharedEarliest},
 		{"suite/commodity-small/jobs=150", probeSuiteSmall},
+		{"suite/replicated-cells/reps=4", probeSuiteReplicated},
 	}
 	if config == "paper" {
 		ps = append(ps, probe{"suite/paper-scale/jobs=5000", probePaperScale})
@@ -245,6 +246,28 @@ func probeSuiteSmall(b *testing.B) {
 	}
 	if s := b.Elapsed().Seconds(); s > 0 {
 		b.ReportMetric(float64(jobs)/s, "jobs/s")
+	}
+}
+
+// probeSuiteReplicated runs a narrow replicated sweep (one scenario, 4
+// replications per cell) through the (cell, replication) worker pool —
+// the fan-out path with its shared trace cache and order-fixed reduce.
+// One op = one replicated sweep; the sims/s extra is the unit throughput.
+func probeSuiteReplicated(b *testing.B) {
+	cfg := experiment.DefaultSuiteConfig(economy.Commodity, true)
+	cfg.Jobs = 150
+	cfg.Replications = 4
+	cfg.ScenarioFilter = []string{"workload"}
+	sims := 0
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sims += res.Cells() * cfg.Replications
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(sims)/s, "sims/s")
 	}
 }
 

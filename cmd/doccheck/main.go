@@ -1,0 +1,144 @@
+// Command doccheck keeps the documentation honest. It enforces two
+// repository invariants (the `make doc-check` CI gate):
+//
+//  1. Every relative markdown link in docs/*.md, README.md, EXPERIMENTS.md,
+//     ROADMAP.md, and CHANGES.md resolves to a file or directory that
+//     exists. External links (http/https/mailto) and pure anchors (#…) are
+//     not checked.
+//  2. Every package under internal/ has a doc.go whose package clause
+//     carries a package comment, so `go doc repro/internal/<pkg>` tells
+//     the same story as the handbook.
+//
+// Usage: doccheck [repo root] (default ".").
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	problems, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(1)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Printf("doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: ok")
+}
+
+func check(root string) ([]string, error) {
+	var problems []string
+	links, err := checkLinks(root)
+	if err != nil {
+		return nil, err
+	}
+	problems = append(problems, links...)
+	docs, err := checkPackageDocs(root)
+	if err != nil {
+		return nil, err
+	}
+	return append(problems, docs...), nil
+}
+
+// markdownFiles returns the repo's prose surface: every docs/*.md plus the
+// top-level markdown entry points.
+func markdownFiles(root string) ([]string, error) {
+	files, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	for _, top := range []string{"README.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md"} {
+		p := filepath.Join(root, top)
+		if _, err := os.Stat(p); err == nil {
+			files = append(files, p)
+		}
+	}
+	return files, nil
+}
+
+// linkRe matches inline markdown links [text](target). Reference-style
+// links are rare in this repo and out of scope.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkLinks verifies every relative link target exists on disk, relative
+// to the file containing it.
+func checkLinks(root string) ([]string, error) {
+	files, err := markdownFiles(root)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Strip an anchor suffix: path.md#section checks path.md.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken link %q (%s does not exist)",
+					file, m[1], resolved))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// checkPackageDocs verifies every internal/* package directory carries a
+// doc.go with a package comment.
+func checkPackageDocs(root string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(root, "internal"))
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, e := range entries {
+		if !e.IsDir() || e.Name() == "testdata" {
+			continue
+		}
+		dir := filepath.Join(root, "internal", e.Name())
+		docPath := filepath.Join(dir, "doc.go")
+		if _, err := os.Stat(docPath); err != nil {
+			problems = append(problems, fmt.Sprintf("internal/%s: no doc.go (package documentation is required)", e.Name()))
+			continue
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, docPath, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("internal/%s: doc.go does not parse: %v", e.Name(), err))
+			continue
+		}
+		if f.Doc == nil || strings.TrimSpace(f.Doc.Text()) == "" {
+			problems = append(problems, fmt.Sprintf("internal/%s: doc.go has no package comment", e.Name()))
+		}
+	}
+	return problems, nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// scaffold builds a minimal repo shape under a temp dir.
+func scaffold(t *testing.T, docGo string, markdown string) string {
+	t.Helper()
+	root := t.TempDir()
+	for _, dir := range []string{"docs", filepath.Join("internal", "pkg")} {
+		if err := os.MkdirAll(filepath.Join(root, dir), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write := func(rel, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(root, rel), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(filepath.Join("docs", "guide.md"), markdown)
+	write("README.md", "see [guide](docs/guide.md)\n")
+	if docGo != "" {
+		write(filepath.Join("internal", "pkg", "doc.go"), docGo)
+	}
+	return root
+}
+
+func TestCheckCleanRepo(t *testing.T) {
+	root := scaffold(t,
+		"// Package pkg does a thing.\npackage pkg\n",
+		"back to [readme](../README.md) and [web](https://example.com) and [anchor](#x)\n")
+	problems, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("clean repo reported problems: %v", problems)
+	}
+}
+
+func TestCheckBrokenLink(t *testing.T) {
+	root := scaffold(t,
+		"// Package pkg does a thing.\npackage pkg\n",
+		"see [missing](missing.md) and [anchored](missing.md#sec)\n")
+	problems, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want 2 broken links", problems)
+	}
+	for _, p := range problems {
+		if !strings.Contains(p, "broken link") {
+			t.Errorf("unexpected problem: %s", p)
+		}
+	}
+}
+
+func TestCheckMissingDocGo(t *testing.T) {
+	root := scaffold(t, "", "no links here\n")
+	problems, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "no doc.go") {
+		t.Fatalf("problems = %v, want one missing-doc.go report", problems)
+	}
+}
+
+func TestCheckUncommentedDocGo(t *testing.T) {
+	root := scaffold(t, "package pkg\n", "no links here\n")
+	problems, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "no package comment") {
+		t.Fatalf("problems = %v, want one no-package-comment report", problems)
+	}
+}
+
+// TestRepositoryIsClean runs the real check against the repository this
+// test lives in — the same invocation as `make doc-check`.
+func TestRepositoryIsClean(t *testing.T) {
+	problems, err := check(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}

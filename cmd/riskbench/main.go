@@ -69,7 +69,7 @@ func main() {
 	flag.StringVar(&o.analysis, "analysis", "all", "separate, integrated3, integrated4, or all")
 	flag.IntVar(&o.jobs, "jobs", 5000, "trace length")
 	flag.IntVar(&o.nodes, "nodes", 128, "cluster size")
-	flag.IntVar(&o.workers, "workers", 0, "simulation workers (0 = GOMAXPROCS)")
+	flag.IntVar(&o.workers, "workers", 0, "worker goroutines over (cell, replication) units (0 = GOMAXPROCS); results identical for any value")
 	flag.IntVar(&o.reps, "reps", 1, "replications per cell (independent seeds, averaged)")
 	flag.StringVar(&o.scenario, "scenario", "", "restrict to one Table VI scenario by name")
 	flag.StringVar(&o.policies, "policy", "", "restrict to a comma-separated list of policies")

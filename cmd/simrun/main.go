@@ -36,6 +36,8 @@ func main() {
 		qosSeed    = flag.Int64("qos-seed", 2, "QoS synthesis seed")
 		faultMode  = flag.String("faults", "none", "failure intensity axis: none, low, or high")
 		faultSeed  = flag.Int64("faultseed", 1, "base seed for the failure process")
+		reps       = flag.Int("reps", 1, "replications (independently seeded trace/QoS/fault draws, averaged)")
+		workers    = flag.Int("workers", 0, "goroutines for parallel replications (0 = GOMAXPROCS); results are identical for any value")
 		swf        = flag.String("swf", "", "optional SWF trace file to use instead of the synthetic trace")
 		dump       = flag.String("dump", "", "write the per-job outcome audit trail to this CSV file")
 		list       = flag.Bool("list", false, "list policies and exit")
@@ -65,7 +67,7 @@ func main() {
 		fatal(err)
 	}
 	if *policy == "all" {
-		compareAll(m, *jobs, *nodes, *inaccuracy, *arrival, *urgent, *traceSeed, *qosSeed, intensity, *faultSeed)
+		compareAll(m, *jobs, *nodes, *inaccuracy, *arrival, *urgent, *traceSeed, *qosSeed, intensity, *faultSeed, *reps, *workers)
 		return
 	}
 	spec, err := scheduler.SpecByName(*policy)
@@ -79,6 +81,8 @@ func main() {
 	cfg.QoSSeed = *qosSeed
 	cfg.FaultIntensity = intensity
 	cfg.FaultSeed = *faultSeed
+	cfg.Replications = *reps
+	cfg.Workers = *workers
 	if *swf != "" {
 		f, err := os.Open(*swf)
 		if err != nil {
@@ -95,11 +99,15 @@ func main() {
 	params.ArrivalFactor = *arrival
 	params.HighUrgencyFrac = *urgent / 100
 
-	rep, outcomes, err := experiment.RunCellDetailed(cfg, params, spec)
-	if err != nil {
-		fatal(err)
-	}
+	var rep metrics.Report
 	if *dump != "" {
+		// The audit trail forces serial replications (RunCellDetailed);
+		// without -dump, replications run in parallel on -workers.
+		var outcomes []*metrics.Outcome
+		rep, outcomes, err = experiment.RunCellDetailed(cfg, params, spec)
+		if err != nil {
+			fatal(err)
+		}
 		f, err := os.Create(*dump)
 		if err != nil {
 			fatal(err)
@@ -109,6 +117,11 @@ func main() {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	} else {
+		rep, err = experiment.RunCell(cfg, params, spec)
+		if err != nil {
 			fatal(err)
 		}
 	}
@@ -126,7 +139,7 @@ func main() {
 
 // compareAll runs every Table V policy of the model on the same workload
 // and prints a side-by-side objective table.
-func compareAll(m economy.Model, jobs, nodes int, inaccuracy, arrival, urgent float64, traceSeed, qosSeed int64, intensity faults.Intensity, faultSeed int64) {
+func compareAll(m economy.Model, jobs, nodes int, inaccuracy, arrival, urgent float64, traceSeed, qosSeed int64, intensity faults.Intensity, faultSeed int64, reps, workers int) {
 	cfg := experiment.DefaultSuiteConfig(m, inaccuracy >= 50)
 	cfg.Jobs = jobs
 	cfg.Nodes = nodes
@@ -134,6 +147,8 @@ func compareAll(m economy.Model, jobs, nodes int, inaccuracy, arrival, urgent fl
 	cfg.QoSSeed = qosSeed
 	cfg.FaultIntensity = intensity
 	cfg.FaultSeed = faultSeed
+	cfg.Replications = reps
+	cfg.Workers = workers
 	params := experiment.DefaultParams(inaccuracy)
 	params.ArrivalFactor = arrival
 	params.HighUrgencyFrac = urgent / 100

@@ -1,0 +1,15 @@
+// Package cluster models the simulated machine: a cluster of
+// single-processor nodes (the paper simulates the 128-node IBM SP2 at SDSC)
+// under two execution disciplines:
+//
+//   - SpaceShared: one job per processor at a time, used by the backfilling
+//     policies (FCFS-BF, SJF-BF, EDF-BF) and FirstReward;
+//   - TimeShared: deadline-proportional processor shares with multiple jobs
+//     per processor, used by the Libra family.
+//
+// Both disciplines complete jobs after their *actual* runtime; schedulers
+// only ever see the user *estimate*, which is how the paper's inaccuracy
+// effects arise. Both support heterogeneous per-node speed ratings (the
+// paper's SP2 is homogeneous at SPEC rating 168; ratings are the
+// heterogeneity extension).
+package cluster

@@ -1,0 +1,13 @@
+// Package core is the top-level API of the reproduction: it ties the
+// substrate packages together into the workflow the paper describes — run a
+// commercial computing service simulation suite under an economic model,
+// perform separate and integrated risk analysis of its resource management
+// policies, rank them, and project a-priori risk for future situations.
+//
+// A typical use:
+//
+//	assessment, err := core.Assess(experiment.DefaultSuiteConfig(economy.Commodity, true))
+//	...
+//	best, err := assessment.BestByPerformance(risk.AllObjectives)
+//	fmt.Println("adopt policy:", best.Series.Policy)
+package core

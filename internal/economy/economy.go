@@ -1,13 +1,3 @@
-// Package economy implements the paper's two economic models and the
-// pricing functions the policies charge under them (§5.1, §5.2).
-//
-// Commodity market model: the provider quotes a price; a job whose expected
-// cost exceeds its budget is rejected; there is no penalty for missing a
-// deadline — the provider keeps charging the quoted price.
-//
-// Bid-based model: the user's budget is a bid earned in full when the job
-// meets its deadline; past the deadline the utility decreases linearly at
-// the job's penalty rate, without bound (Figure 2).
 package economy
 
 import (

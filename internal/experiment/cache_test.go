@@ -130,3 +130,40 @@ func TestReplicatedSuiteUnchangedByCache(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceCacheConcurrentSameSeed releases many goroutines through a
+// start gate onto get() for one brand-new seed — the exact shape of a
+// replicated cell's workers racing on the same replication trace. The
+// per-entry sync.Once must hand every caller the identical slice from a
+// single generation, with no error.
+func TestTraceCacheConcurrentSameSeed(t *testing.T) {
+	cfg := DefaultSuiteConfig(economy.Commodity, false)
+	cfg.Jobs = 10
+	cache := newTraceCache(cfg, nil)
+	const workers = 32
+	seed := cfg.TraceSeed + 2*ReplicationSeedStride
+	start := make(chan struct{})
+	got := make([][]*workload.Job, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			tr, err := cache.get(seed)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[w] = tr
+		}()
+	}
+	close(start)
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if len(got[w]) == 0 || &got[w][0] != &got[0][0] {
+			t.Fatalf("worker %d received a different trace instance for the shared seed", w)
+		}
+	}
+}

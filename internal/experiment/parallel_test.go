@@ -1,0 +1,200 @@
+package experiment
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/plot"
+	"repro/internal/risk"
+)
+
+// panelBytes renders a suite's full artifact surface — separate-analysis
+// CSV and SVG panels for every objective, plus the integrated panel — into
+// one byte blob. Byte equality of two blobs is the artifact-level
+// determinism oracle: it covers not just the reports but every float that
+// reaches a published figure.
+func panelBytes(t *testing.T, res *Results) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := plot.Config{TrendLines: true}
+	for _, obj := range risk.AllObjectives {
+		series, err := res.SeparateSeries(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteString(plot.CSV(series))
+		buf.WriteString(plot.SVG(series, cfg))
+	}
+	integrated, err := res.IntegratedSeries(risk.AllObjectives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(plot.CSV(integrated))
+	buf.WriteString(plot.SVG(integrated, cfg))
+	return buf.Bytes()
+}
+
+// runObserved runs cfg with a recording reporter and returns both the
+// results and the captured records.
+func runObserved(t *testing.T, cfg SuiteConfig) (*Results, *recordingReporter) {
+	t.Helper()
+	rec := &recordingReporter{}
+	cfg.Observer = rec
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec
+}
+
+// TestReplicatedSuiteByteIdenticalAcrossWorkers is the tentpole contract:
+// a replicated suite executed on the (cell, replication) worker pool is
+// bit-for-bit identical to the serial run — reports, canonical journals,
+// and rendered panels — for every fault intensity and worker count.
+func TestReplicatedSuiteByteIdenticalAcrossWorkers(t *testing.T) {
+	for _, intensity := range []faults.Intensity{faults.None, faults.Low, faults.High} {
+		t.Run(string(intensity), func(t *testing.T) {
+			cfg := observedSuite(t)
+			cfg.ScenarioFilter = []string{"workload"}
+			cfg.Replications = 3
+			cfg.FaultIntensity = intensity
+			cfg.FaultSeed = 7
+
+			cfg.Workers = 1
+			serialRes, serialRec := runObserved(t, cfg)
+			serialJournal := canonical(t, serialRec)
+			serialPanels := panelBytes(t, serialRes)
+
+			for _, workers := range []int{4, 8} {
+				cfg.Workers = workers
+				res, rec := runObserved(t, cfg)
+				if !reflect.DeepEqual(serialRes, res) {
+					t.Fatalf("results differ between Workers=1 and Workers=%d", workers)
+				}
+				if !bytes.Equal(serialJournal, canonical(t, rec)) {
+					t.Fatalf("canonical journals differ between Workers=1 and Workers=%d", workers)
+				}
+				if !bytes.Equal(serialPanels, panelBytes(t, res)) {
+					t.Fatalf("panel bytes differ between Workers=1 and Workers=%d", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestReplicatedFullSuiteRaceStress runs the complete 12-scenario grid,
+// replicated, on a saturated worker pool under fault injection — the
+// worst-case concurrency shape (shared trace cache, same-cell replications
+// in flight simultaneously, reduce racing the enqueue) — and asserts the
+// rendered panels are byte-identical to the serial run. Under -race (make
+// verify) this doubles as the synchronization proof for the whole fan-out.
+func TestReplicatedFullSuiteRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full replicated grid is slow; skipped with -short")
+	}
+	for _, intensity := range []faults.Intensity{faults.Low, faults.High} {
+		t.Run(string(intensity), func(t *testing.T) {
+			cfg := smallSuite(economy.Commodity, false)
+			cfg.Jobs = 30
+			cfg.Replications = 3
+			cfg.FaultIntensity = intensity
+			cfg.FaultSeed = 11
+
+			cfg.Workers = 1
+			serial, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// At least 4 workers even on a single-core runner: interleaving,
+			// not parallel speedup, is what the race detector needs.
+			cfg.Workers = runtime.GOMAXPROCS(0)
+			if cfg.Workers < 4 {
+				cfg.Workers = 4
+			}
+			parallel, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(panelBytes(t, serial), panelBytes(t, parallel)) {
+				t.Fatalf("panel bytes differ between Workers=1 and Workers=%d", cfg.Workers)
+			}
+		})
+	}
+}
+
+// repRecorder extends recordingReporter with the optional per-replication
+// progress callback.
+type repRecorder struct {
+	recordingReporter
+	mu   sync.Mutex
+	reps map[string][]int // cell key → replication indices, completion order
+}
+
+func (r *repRecorder) ReplicationDone(c obs.Cell, rep, reps int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.reps == nil {
+		r.reps = make(map[string][]int)
+	}
+	r.reps[c.Key] = append(r.reps[c.Key], rep)
+	if reps != 3 {
+		r.reps[c.Key] = append(r.reps[c.Key], -reps) // poison: wrong total
+	}
+}
+
+// TestReplicationProgressReporting pins the ReplicationReporter extension:
+// Suite carries the replication count, every executed cell fires exactly
+// reps ReplicationDone events covering indices 0..reps-1, CellStart fires
+// once per cell, and Multi forwards the optional interface.
+func TestReplicationProgressReporting(t *testing.T) {
+	cfg := observedSuite(t)
+	cfg.ScenarioFilter = []string{"workload"}
+	cfg.Replications = 3
+	cfg.Workers = 4
+	rec := &repRecorder{}
+	cfg.Observer = obs.Multi(rec) // through Multi: forwarding is part of the contract
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.suites) != 1 || rec.suites[0].Replications != 3 {
+		t.Fatalf("Suite.Replications not reported: %+v", rec.suites)
+	}
+	cells := rec.executed
+	if cells == 0 {
+		t.Fatal("no cells executed")
+	}
+	if len(rec.starts) != cells {
+		t.Errorf("CellStart fired %d times for %d cells (must be once per cell)", len(rec.starts), cells)
+	}
+	if len(rec.reps) != cells {
+		t.Fatalf("ReplicationDone covered %d cells, want %d", len(rec.reps), cells)
+	}
+	for key, idx := range rec.reps {
+		if len(idx) != 3 {
+			t.Fatalf("cell %s: %d replication events (want 3): %v", key, len(idx), idx)
+		}
+		seen := map[int]bool{}
+		for _, r := range idx {
+			seen[r] = true
+		}
+		if !seen[0] || !seen[1] || !seen[2] {
+			t.Fatalf("cell %s: replication indices %v do not cover 0..2", key, idx)
+		}
+	}
+}
+
+// The journal must stay cell-granularity: it deliberately does not
+// implement the optional per-replication interface, so no journal record
+// ordering can ever depend on replication completion order.
+func TestJournalHasNoReplicationGranularity(t *testing.T) {
+	var r obs.Reporter = &obs.Journal{}
+	if _, ok := r.(obs.ReplicationReporter); ok {
+		t.Fatal("obs.Journal implements ReplicationReporter; journal records must stay cell-granularity")
+	}
+}

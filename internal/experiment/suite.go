@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/economy"
@@ -15,6 +16,22 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/workload"
 )
+
+// ReplicationSeedStride is the seed offset convention for replicated
+// runs: replication r of a cell draws its trace at TraceSeed +
+// ReplicationSeedStride·r, its QoS parameters at QoSSeed +
+// ReplicationSeedStride·r, and its failure process at FaultSeed +
+// ReplicationSeedStride·r. The stride keeps the three streams aligned
+// per replication while leaving room for independent base seeds, and it
+// is part of the reproducibility contract: journals, goldens, and the
+// canonical-journal tests all assume it. Change it and every committed
+// replicated artifact is invalidated.
+const ReplicationSeedStride = 1000
+
+// repSeed applies the replication-seed offset convention to a base seed.
+func repSeed(base int64, r int) int64 {
+	return base + ReplicationSeedStride*int64(r)
+}
 
 // SuiteConfig parameterizes one full evaluation suite: one economic model,
 // one estimate-inaccuracy Set, all twelve scenarios, all policies of the
@@ -33,10 +50,16 @@ type SuiteConfig struct {
 	// TraceSeed and QoSSeed drive the synthetic trace and the QoS draws.
 	TraceSeed, QoSSeed int64
 	// Replications averages each cell over this many independently seeded
-	// trace/QoS draws (seed + 1000·r). 0 or 1 runs a single replication,
-	// matching the paper's single-trace methodology.
+	// trace/QoS draws (seed offsets per ReplicationSeedStride). 0 or 1
+	// runs a single replication, matching the paper's single-trace
+	// methodology.
 	Replications int
-	// Workers bounds the simulation worker pool; 0 means GOMAXPROCS.
+	// Workers bounds the simulation worker pool; 0 means GOMAXPROCS. The
+	// pool's unit of work is one (cell, replication) simulation, so a
+	// replicated suite — or a narrow sweep with fewer cells than cores —
+	// still fills every worker. Results are bit-for-bit independent of
+	// Workers: replication reports are reduced in replication order, never
+	// completion order.
 	Workers int
 	// ScenarioFilter, when non-empty, restricts the suite to the named
 	// Table VI scenarios (useful for iterating on one dimension).
@@ -49,9 +72,10 @@ type SuiteConfig struct {
 	// scaled to the workload's observation horizon. Empty means none — the
 	// paper's original never-failing machine.
 	FaultIntensity faults.Intensity
-	// FaultSeed drives the failure process draws (varied per replication by
-	// +1000·r, like the trace and QoS seeds). Independent of TraceSeed so
-	// the same workload can be replayed under different failure histories.
+	// FaultSeed drives the failure process draws (varied per replication
+	// by ReplicationSeedStride, like the trace and QoS seeds). Independent
+	// of TraceSeed so the same workload can be replayed under different
+	// failure histories.
 	FaultSeed int64
 	// Synth optionally overrides the trace generator configuration (Jobs
 	// still wins for the job count); nil uses the SDSC SP2 calibration.
@@ -99,6 +123,16 @@ func (c SuiteConfig) inaccuracyDefault() float64 {
 	return 0
 }
 
+// replications normalizes the Replications field: 0 and 1 both mean a
+// single replication. Every consumer — CellKey, the suite runner, the
+// single-cell entry points — goes through this one normalization.
+func (c SuiteConfig) replications() int {
+	if c.Replications < 1 {
+		return 1
+	}
+	return c.Replications
+}
+
 // CellKey returns the deterministic identity of one (scenario, value,
 // policy) cell under this configuration: an FNV-1a hash over the model,
 // Set, scenario, value, policy, trace length, machine size, both seeds,
@@ -107,10 +141,7 @@ func (c SuiteConfig) inaccuracyDefault() float64 {
 // what makes journal records safe to reuse across runs (checkpoint /
 // resume) and stale after any config change.
 func (c SuiteConfig) CellKey(scenario string, value float64, policy string) string {
-	reps := c.Replications
-	if reps < 1 {
-		reps = 1 // 0 and 1 both mean a single replication
-	}
+	reps := c.replications()
 	return obs.Key(
 		c.Model.String(),
 		c.SetName(),
@@ -180,9 +211,18 @@ func (r *Results) Cells() int {
 	return n
 }
 
-// Run executes the suite: |scenarios| × 6 values × 5 policies simulations,
-// fanned out over a worker pool. The same base trace and QoS seeds are used
-// for every cell, so policies within a cell see byte-identical workloads.
+// Run executes the suite: |scenarios| × 6 values × 5 policies cells, each
+// averaged over the configured replications. The same base trace and QoS
+// seeds are used for every cell, so policies within a cell see
+// byte-identical workloads.
+//
+// Execution is a two-level fan-out: the grid is flattened into one work
+// queue of (cell, replication) units, executed by Workers goroutines.
+// Replication reports land in a per-cell slice indexed by replication
+// number and are merged by metrics.AverageReports in index order once the
+// cell's last replication completes — a deterministic, order-fixed reduce,
+// so results are bit-for-bit identical to a serial run for every worker
+// count (the canonical-journal tests pin this, faults included).
 func Run(cfg SuiteConfig) (*Results, error) {
 	if cfg.Jobs <= 0 && cfg.Trace == nil {
 		return nil, fmt.Errorf("experiment: non-positive job count %d", cfg.Jobs)
@@ -265,24 +305,26 @@ func Run(cfg SuiteConfig) (*Results, error) {
 	if observer == nil {
 		observer = obs.Nop{}
 	}
-	reps := cfg.Replications
-	if reps < 1 {
-		reps = 1
-	}
+	reps := cfg.replications()
 
-	type task struct {
+	// pendingCell is one cell awaiting execution: its grid coordinates,
+	// pre-validated parameters, and the reduce state — a report slot per
+	// replication, filled in any order by the workers and merged in
+	// replication order once the last slot lands.
+	type pendingCell struct {
 		si, vi, pi int
 		cell       obs.Cell
-	}
-	type outcome struct {
-		task
-		report metrics.Report
-		wall   time.Duration
-		err    error
+		params     Params
+		started    atomic.Bool
+		reports    []metrics.Report
+		remaining  int
+		wall       time.Duration
+		err        error // first replication error, by replication index
+		errRep     int
 	}
 	// Split the grid into resumed cells (their journaled report is reused
-	// verbatim) and pending tasks for the worker pool.
-	var tasks []task
+	// verbatim) and pending cells for the worker pool.
+	var pending []*pendingCell
 	var resumed []obs.Record
 	total := 0
 	for si, sc := range scenarios {
@@ -305,84 +347,146 @@ func Run(cfg SuiteConfig) (*Results, error) {
 					})
 					continue
 				}
-				tasks = append(tasks, task{si, vi, pi, cell})
+				p := DefaultParams(cfg.inaccuracyDefault())
+				sc.Apply(&p, value)
+				if err := p.Validate(); err != nil {
+					return nil, fmt.Errorf("experiment: %s/%s[%d]/%s: %w",
+						cfg.SetName(), sc.Name, vi, spec.Name, err)
+				}
+				pending = append(pending, &pendingCell{
+					si: si, vi: vi, pi: pi, cell: cell, params: p,
+					reports: make([]metrics.Report, reps), remaining: reps, errRep: reps,
+				})
 			}
 		}
 	}
 
-	suite := obs.Suite{Model: cfg.Model.String(), Set: cfg.SetName(), Cells: total, Resumed: len(resumed)}
+	suite := obs.Suite{Model: cfg.Model.String(), Set: cfg.SetName(), Cells: total, Resumed: len(resumed), Replications: reps}
 	suiteStart := time.Now() //lint:allow wallclock — suite wall-time accounting for obs.Summary, not simulation time
 	observer.SuiteStart(suite)
+	repObserver, _ := observer.(obs.ReplicationReporter)
 	for _, rec := range resumed {
 		observer.CellDone(rec)
 	}
 
+	// One unit of work = one replication of one cell. Units are enqueued
+	// cell-major so a cell's replications are co-scheduled and cells
+	// complete (and journal) as early as possible.
+	type unit struct {
+		ci, r int
+	}
+	type outcome struct {
+		unit
+		report metrics.Report
+		wall   time.Duration
+		err    error
+	}
+	units := len(pending) * reps
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(tasks) {
-		workers = len(tasks)
+	if workers > units {
+		workers = units
 	}
-	taskCh := make(chan task)
+	unitCh := make(chan unit)
 	outCh := make(chan outcome)
 	for w := 0; w < workers; w++ {
 		go func() {
-			for tk := range taskCh {
-				observer.CellStart(tk.cell)
-				start := time.Now() //lint:allow wallclock — per-cell wall-time accounting for the journal, not simulation time
-				rep, err := runCell(cfg, cache, base, scenarios[tk.si], scenarios[tk.si].Values[tk.vi], specs[tk.pi])
-				wall := time.Since(start) //lint:allow wallclock — per-cell wall-time accounting for the journal, not simulation time
-				outCh <- outcome{task: tk, report: rep, wall: wall, err: err}
+			for u := range unitCh {
+				pc := pending[u.ci]
+				if pc.started.CompareAndSwap(false, true) {
+					observer.CellStart(pc.cell)
+				}
+				start := time.Now() //lint:allow wallclock — per-replication wall-time accounting for the journal, not simulation time
+				rep, err := runReplication(cfg, cache, pc.params, specs[pc.pi], u.r)
+				wall := time.Since(start) //lint:allow wallclock — per-replication wall-time accounting for the journal, not simulation time
+				outCh <- outcome{unit: u, report: rep, wall: wall, err: err}
 			}
 		}()
 	}
 	go func() {
-		for _, tk := range tasks {
-			taskCh <- tk
+		for ci := range pending {
+			for r := 0; r < reps; r++ {
+				unitCh <- unit{ci, r}
+			}
 		}
-		close(taskCh)
+		close(unitCh)
 	}()
 
-	var firstErr error
 	executed := 0
-	for range tasks {
+	for i := 0; i < units; i++ {
 		o := <-outCh
+		pc := pending[o.ci]
+		pc.remaining--
+		pc.wall += o.wall
 		if o.err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("experiment: %s/%s[%d]/%s: %w",
-					cfg.SetName(), scenarios[o.si].Name, o.vi, specs[o.pi].Name, o.err)
+			// Keep the error of the lowest replication index, so the
+			// reported failure is independent of completion order.
+			if o.r < pc.errRep {
+				pc.err, pc.errRep = o.err, o.r
 			}
+		} else {
+			pc.reports[o.r] = o.report
+			if repObserver != nil {
+				repObserver.ReplicationDone(pc.cell, o.r, reps)
+			}
+		}
+		if pc.remaining > 0 {
 			continue
 		}
-		res.Scenarios[o.si].Reports[o.vi][specs[o.pi].Name] = o.report
+		// Last replication of the cell: reduce in replication order.
+		if pc.err != nil {
+			continue
+		}
+		report := metrics.AverageReports(pc.reports)
+		res.Scenarios[pc.si].Reports[pc.vi][specs[pc.pi].Name] = report
 		executed++
 		observer.CellDone(obs.Record{
-			Cell:         o.cell,
+			Cell:         pc.cell,
 			Replications: reps,
-			WallSeconds:  o.wall.Seconds(),
-			Report:       o.report,
+			WallSeconds:  pc.wall.Seconds(),
+			Report:       report,
 		})
 	}
 	elapsed := time.Since(suiteStart) //lint:allow wallclock — suite wall-time accounting for obs.Summary, not simulation time
 	observer.SuiteDone(obs.Summary{Suite: suite, Executed: executed, Elapsed: elapsed})
-	if firstErr != nil {
-		return nil, firstErr
+	// Report the failure of the earliest cell in grid order — like the
+	// reduce, independent of completion order.
+	for _, pc := range pending {
+		if pc.err != nil {
+			return nil, fmt.Errorf("experiment: %s/%s[%d]/%s (replication %d): %w",
+				cfg.SetName(), scenarios[pc.si].Name, pc.vi, specs[pc.pi].Name, pc.errRep, pc.err)
+		}
 	}
 	return res, nil
 }
 
 // traceCache memoizes generated traces by replication seed, shared across
 // every cell of a suite run. Every cell at replication r draws the same
-// trace (seed TraceSeed+1000·r), so without the cache the generator runs
-// |cells|×(reps−1) times for reps distinct traces. workload.Generate is
-// pure — same config and seed give the same jobs — so handing out the
-// cached slice is exact; callers clone before mutating (runCell always
-// does, via workload.CloneAll).
+// trace (seed TraceSeed + ReplicationSeedStride·r), so without the cache
+// the generator runs |cells|×reps times for reps distinct traces.
+// workload.Generate is pure — same config and seed give the same jobs —
+// so handing out the cached slice is exact; callers clone before mutating
+// (runReplication always does, via workload.CloneAll).
+//
+// The cache is safe for concurrent use by every worker of the suite pool,
+// including concurrent replications of the same cell: the map is guarded
+// by a mutex, but generation itself runs under a per-seed sync.Once, so
+// two workers racing on the same seed block on one generation (and then
+// share the identical slice) while workers on different seeds generate in
+// parallel instead of serializing on the map lock.
 type traceCache struct {
 	synth workload.SynthConfig
 	mu    sync.Mutex
-	byTag map[int64][]*workload.Job
+	byTag map[int64]*traceEntry
+}
+
+// traceEntry is one memoized trace; once guards its single generation.
+type traceEntry struct {
+	once sync.Once
+	jobs []*workload.Job
+	err  error
 }
 
 // newTraceCache builds the cache for cfg's synthetic generator, pre-seeding
@@ -393,89 +497,109 @@ func newTraceCache(cfg SuiteConfig, base []*workload.Job) *traceCache {
 		synth = *cfg.Synth
 	}
 	synth.Jobs = cfg.Jobs
-	c := &traceCache{synth: synth, byTag: make(map[int64][]*workload.Job)}
+	c := &traceCache{synth: synth, byTag: make(map[int64]*traceEntry)}
 	if cfg.Trace == nil && base != nil {
-		c.byTag[cfg.TraceSeed] = base
+		e := &traceEntry{jobs: base}
+		e.once.Do(func() {}) // mark generated
+		c.byTag[cfg.TraceSeed] = e
 	}
 	return c
 }
 
 // get returns the trace for a seed, generating it on first use. Safe for
-// concurrent use from the suite worker pool.
+// concurrent use from the suite worker pool; every caller for the same
+// seed receives the identical slice.
 func (c *traceCache) get(seed int64) ([]*workload.Job, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if t, ok := c.byTag[seed]; ok {
-		return t, nil
+	e, ok := c.byTag[seed]
+	if !ok {
+		e = &traceEntry{}
+		c.byTag[seed] = e
 	}
-	t, err := workload.Generate(c.synth, seed)
-	if err != nil {
-		return nil, err
-	}
-	c.byTag[seed] = t
-	return t, nil
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.jobs, e.err = workload.Generate(c.synth, seed)
+	})
+	return e.jobs, e.err
 }
 
-// runCell prepares the workload for one (scenario, value) cell and runs it
-// under one policy, averaging over the configured replications. base is
-// the replication-0 trace; further replications draw theirs through the
-// shared cache.
-func runCell(cfg SuiteConfig, cache *traceCache, base []*workload.Job, sc Scenario, value float64, spec scheduler.Spec) (metrics.Report, error) {
-	p := DefaultParams(cfg.inaccuracyDefault())
-	sc.Apply(&p, value)
-	if err := p.Validate(); err != nil {
-		return metrics.Report{}, err
-	}
-	reps := cfg.Replications
-	if reps < 1 {
-		reps = 1
-	}
-	reports := make([]metrics.Report, 0, reps)
-	for r := 0; r < reps; r++ {
-		trace := base
-		if r > 0 {
-			if cfg.Trace != nil {
-				// A fixed external trace cannot be re-drawn; only the QoS
-				// seed varies across its replications.
-				trace = cfg.Trace
-			} else {
-				var err error
-				trace, err = cache.get(cfg.TraceSeed + int64(1000*r))
-				if err != nil {
-					return metrics.Report{}, err
-				}
-			}
-		}
-		jobs := workload.CloneAll(trace)
-		workload.ScaleArrivals(jobs, p.ArrivalFactor)
-		if err := qos.Synthesize(jobs, p.QoSConfig(cfg.QoSSeed+int64(1000*r))); err != nil {
-			return metrics.Report{}, err
-		}
-		// The failure process is scaled to this replication's prepared
-		// workload (after arrival scaling), so the axis bites identically
-		// at test scale and paper scale.
-		var faultCfg *faults.Config
-		if cfg.FaultIntensity.Enabled() {
-			f := cfg.FaultIntensity.Config(cfg.FaultSeed+int64(1000*r), faults.JobsHorizon(jobs))
-			faultCfg = &f
-		}
-		rep, err := scheduler.Run(jobs, spec.New, scheduler.RunConfig{
-			Nodes:     cfg.Nodes,
-			Model:     cfg.Model,
-			BasePrice: economy.DefaultBasePrice,
-			Faults:    faultCfg,
-		})
+// runReplication executes replication r of one cell: draw the trace for
+// the replication's seed through the shared cache (or reuse a fixed
+// external trace, which cannot be re-drawn — only the QoS and fault seeds
+// vary across its replications), clone it, scale arrivals, synthesize QoS,
+// and simulate under the policy. This is the worker pool's unit of work.
+func runReplication(cfg SuiteConfig, cache *traceCache, p Params, spec scheduler.Spec, r int) (metrics.Report, error) {
+	trace := cfg.Trace
+	if trace == nil {
+		var err error
+		trace, err = cache.get(repSeed(cfg.TraceSeed, r))
 		if err != nil {
 			return metrics.Report{}, err
 		}
-		reports = append(reports, rep)
+	}
+	jobs := workload.CloneAll(trace)
+	workload.ScaleArrivals(jobs, p.ArrivalFactor)
+	if err := qos.Synthesize(jobs, p.QoSConfig(repSeed(cfg.QoSSeed, r))); err != nil {
+		return metrics.Report{}, err
+	}
+	// The failure process is scaled to this replication's prepared
+	// workload (after arrival scaling), so the axis bites identically
+	// at test scale and paper scale.
+	var faultCfg *faults.Config
+	if cfg.FaultIntensity.Enabled() {
+		f := cfg.FaultIntensity.Config(repSeed(cfg.FaultSeed, r), faults.JobsHorizon(jobs))
+		faultCfg = &f
+	}
+	return scheduler.Run(jobs, spec.New, scheduler.RunConfig{
+		Nodes:     cfg.Nodes,
+		Model:     cfg.Model,
+		BasePrice: economy.DefaultBasePrice,
+		Faults:    faultCfg,
+	})
+}
+
+// runCell runs every replication of one cell and reduces them in
+// replication order — the same order-fixed reduce the suite pool applies,
+// so the two paths are bit-for-bit interchangeable. Replications run on
+// min(Workers, reps) goroutines (Workers ≤ 0 meaning GOMAXPROCS), which
+// is what lets a single paper-scale cell with -reps N use N cores.
+func runCell(cfg SuiteConfig, cache *traceCache, p Params, spec scheduler.Spec) (metrics.Report, error) {
+	reps := cfg.replications()
+	reports := make([]metrics.Report, reps)
+	errs := make([]error, reps)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for r := 0; r < reps; r++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(r int) {
+			defer wg.Done()
+			reports[r], errs[r] = runReplication(cfg, cache, p, spec, r)
+			<-sem
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return metrics.Report{}, fmt.Errorf("replication %d: %w", r, err)
+		}
 	}
 	return metrics.AverageReports(reports), nil
 }
 
 // RunCellDetailed is RunCell plus the per-job outcomes, for drill-down
-// dumps (simrun -dump).
+// dumps (simrun -dump). Replications are forced serial so the captured
+// audit trail is deterministically the final replication's; the averaged
+// report is unaffected (the reduce is order-fixed either way).
 func RunCellDetailed(cfg SuiteConfig, params Params, spec scheduler.Spec) (metrics.Report, []*metrics.Outcome, error) {
+	cfg.Workers = 1
 	var collector *metrics.Collector
 	wrapped := spec
 	inner := spec.New
@@ -491,9 +615,12 @@ func RunCellDetailed(cfg SuiteConfig, params Params, spec scheduler.Spec) (metri
 }
 
 // RunCell is the exported single-cell entry point used by cmd/simrun and
-// the examples.
+// the examples. Replications (if configured) run in parallel on
+// cfg.Workers goroutines with the same order-fixed reduce as Run.
 func RunCell(cfg SuiteConfig, params Params, spec scheduler.Spec) (metrics.Report, error) {
-	identity := Scenario{Name: "fixed", Values: []float64{0}, Apply: func(*Params, float64) {}}
+	if err := params.Validate(); err != nil {
+		return metrics.Report{}, err
+	}
 	base := cfg.Trace
 	if base == nil {
 		synth := workload.DefaultSynthConfig()
@@ -507,7 +634,5 @@ func RunCell(cfg SuiteConfig, params Params, spec scheduler.Spec) (metrics.Repor
 			return metrics.Report{}, err
 		}
 	}
-	saved := params
-	identity.Apply = func(p *Params, _ float64) { *p = saved }
-	return runCell(cfg, newTraceCache(cfg, base), base, identity, 0, spec)
+	return runCell(cfg, newTraceCache(cfg, base), params, spec)
 }

@@ -1,16 +1,3 @@
-// Package faults generates deterministic node failure and repair event
-// sequences for the simulated cluster, in the tradition of the
-// GridSim/CloudSim resource-failure models.
-//
-// Every node alternates between up and down periods whose lengths are drawn
-// from explicitly seeded exponential or Weibull distributions. Each node
-// draws from its own PRNG substream (derived from the configuration seed by
-// a SplitMix64 finalizer), so the schedule for node i never depends on how
-// many events another node produced — adding a node or lengthening the
-// horizon perturbs nothing else. The generated schedule is a plain sorted
-// slice of events; the simulation driver turns each into a sim.Engine event
-// so failures interleave deterministically with job submissions and
-// completions, preserving the repository's bit-for-bit reproducibility.
 package faults
 
 import (

@@ -1,13 +1,3 @@
-// Package lint is a stdlib-only static-analysis framework encoding this
-// repository's determinism and correctness invariants, driven by
-// cmd/repolint. Each Analyzer is a small pass over parsed and type-checked
-// packages; findings can be suppressed line by line with a documented
-//
-//	//lint:allow <rule> — <reason>
-//
-// directive (see directive.go). The rule catalog lives in All; the
-// rationale — why bit-reproducible runs need machine-checked invariants —
-// in docs/architecture.md ("Determinism invariants & lint rules").
 package lint
 
 import (

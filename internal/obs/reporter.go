@@ -48,6 +48,10 @@ type Suite struct {
 	// Resumed is how many cells were satisfied from a prior journal and
 	// will not be executed.
 	Resumed int
+	// Replications is how many independently seeded simulations each cell
+	// averages over (at least 1). Cells × Replications is the suite's total
+	// simulation count.
+	Replications int
 }
 
 // Summary describes a finished suite.
@@ -69,6 +73,22 @@ type Reporter interface {
 	CellStart(c Cell)
 	CellDone(r Record)
 	SuiteDone(s Summary)
+}
+
+// ReplicationReporter is an optional extension of Reporter. When a suite
+// runs with more than one replication per cell, the worker pool's unit of
+// work is one (cell, replication) simulation; a Reporter that also
+// implements ReplicationReporter receives ReplicationDone after each unit,
+// giving it sub-cell progress granularity. rep is the replication index
+// (0-based) and reps the cell's replication count.
+//
+// Calls fire concurrently from the worker pool, in completion order — NOT
+// replication order — and carry no results: the suite's outputs (journal
+// records, reports) remain strictly cell-granularity, so implementations
+// must not infer ordering from them. The journal deliberately does not
+// implement this interface.
+type ReplicationReporter interface {
+	ReplicationDone(c Cell, rep, reps int)
 }
 
 // Nop is the no-op Reporter, used when SuiteConfig.Observer is nil.
@@ -113,6 +133,17 @@ func (m multi) SuiteDone(s Summary) {
 	}
 }
 
+// ReplicationDone forwards to every wrapped reporter that implements
+// ReplicationReporter. multi always satisfies the interface so that
+// wrapping never hides a reporter's replication granularity.
+func (m multi) ReplicationDone(c Cell, rep, reps int) {
+	for _, r := range m {
+		if rr, ok := r.(ReplicationReporter); ok {
+			rr.ReplicationDone(c, rep, reps)
+		}
+	}
+}
+
 // Terminal is a Reporter that prints live progress lines — done/total,
 // cells/sec, and an ETA — to a writer on a fixed interval, plus one final
 // line per suite. It is safe for concurrent use.
@@ -126,6 +157,7 @@ type Terminal struct {
 	start    time.Time
 	done     int // cells accounted for, including resumed
 	executed int // cells this run simulated
+	sims     int // replications completed (unit-level progress)
 	stop     chan struct{}
 }
 
@@ -145,6 +177,7 @@ func (t *Terminal) SuiteStart(s Suite) {
 	t.start = t.now()
 	t.done = 0
 	t.executed = 0
+	t.sims = 0
 	t.stop = make(chan struct{})
 	stop := t.stop
 	t.mu.Unlock()
@@ -164,6 +197,16 @@ func (t *Terminal) SuiteStart(s Suite) {
 
 // CellStart is a no-op; Terminal reports completions only.
 func (t *Terminal) CellStart(Cell) {}
+
+// ReplicationDone advances the unit-level progress counter. With more
+// than one replication per cell this gives the progress line (and its
+// ETA) sub-cell granularity: a paper-scale cell no longer looks stalled
+// for the duration of all its replications.
+func (t *Terminal) ReplicationDone(Cell, int, int) {
+	t.mu.Lock()
+	t.sims++
+	t.mu.Unlock()
+}
 
 // CellDone advances the counters.
 func (t *Terminal) CellDone(r Record) {
@@ -190,12 +233,23 @@ func (t *Terminal) print(final bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	elapsed := t.now().Sub(t.start).Seconds()
+	reps := t.suite.Replications
+	if reps < 1 {
+		reps = 1
+	}
+	// With replicated cells, progress and the ETA run at unit (single
+	// simulation) granularity via the sims counter; otherwise at cell
+	// granularity. Both count only executed work, never resumed cells.
+	doneUnits, totalUnits := t.executed, t.suite.Cells-t.suite.Resumed
+	if reps > 1 {
+		doneUnits, totalUnits = t.sims, (t.suite.Cells-t.suite.Resumed)*reps
+	}
 	rate := 0.0
 	if elapsed > 0 {
-		rate = float64(t.executed) / elapsed
+		rate = float64(doneUnits) / elapsed
 	}
 	eta := "-"
-	if remaining := t.suite.Cells - t.done; remaining <= 0 {
+	if remaining := totalUnits - doneUnits; remaining <= 0 {
 		eta = "0s"
 	} else if rate > 0 {
 		eta = (time.Duration(float64(remaining) / rate * float64(time.Second))).Round(time.Second).String()
@@ -204,6 +258,12 @@ func (t *Terminal) print(final bool) {
 	if final {
 		status = fmt.Sprintf("done in %v (%d resumed)",
 			time.Duration(elapsed*float64(time.Second)).Round(time.Millisecond), t.suite.Resumed)
+	}
+	if reps > 1 {
+		//lint:allow errignore — best-effort progress output; a broken stderr must not abort the suite
+		fmt.Fprintf(t.w, "%s/%s: %d/%d cells, %d/%d sims, %.1f sims/s, %s\n",
+			t.suite.Model, t.suite.Set, t.done, t.suite.Cells, t.sims, totalUnits, rate, status)
+		return
 	}
 	//lint:allow errignore — best-effort progress output; a broken stderr must not abort the suite
 	fmt.Fprintf(t.w, "%s/%s: %d/%d cells, %.1f cells/s, %s\n",

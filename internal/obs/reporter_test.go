@@ -115,3 +115,53 @@ func TestVarsCountExecutedWork(t *testing.T) {
 		t.Errorf("jobs_scheduled advanced by %d, want %d", got, 3*5000)
 	}
 }
+
+// TestTerminalReplicatedProgress pins the unit-granularity progress line:
+// with Replications > 1 the Terminal reports sims done/total alongside
+// cells, so a replicated cell in flight is visible progress, not a stall.
+func TestTerminalReplicatedProgress(t *testing.T) {
+	var buf syncBuffer
+	term := NewTerminal(&buf, time.Hour)
+	term.SuiteStart(Suite{Model: "commodity", Set: "Set A", Cells: 2, Replications: 3})
+	for rep := 0; rep < 3; rep++ {
+		term.ReplicationDone(Cell{}, rep, 3)
+	}
+	term.CellDone(Record{Replications: 3})
+	term.SuiteDone(Summary{})
+	out := buf.String()
+	if !strings.Contains(out, "1/2 cells") {
+		t.Errorf("replicated final line missing cell progress: %q", out)
+	}
+	if !strings.Contains(out, "3/6 sims") {
+		t.Errorf("replicated final line missing sims progress: %q", out)
+	}
+}
+
+// TestMultiForwardsReplicationDone pins that wrapping reporters in Multi
+// never hides the optional per-replication granularity — Multi forwards
+// ReplicationDone to exactly the wrapped reporters that implement it.
+func TestMultiForwardsReplicationDone(t *testing.T) {
+	var plain countingReporter // Reporter only
+	rep := &replicationCounter{}
+	m := Multi(&plain, rep)
+	rr, ok := m.(ReplicationReporter)
+	if !ok {
+		t.Fatal("Multi does not implement ReplicationReporter")
+	}
+	rr.ReplicationDone(Cell{}, 0, 2)
+	rr.ReplicationDone(Cell{}, 1, 2)
+	if rep.n != 2 {
+		t.Errorf("wrapped ReplicationReporter saw %d events, want 2", rep.n)
+	}
+}
+
+type replicationCounter struct {
+	countingReporter
+	n int
+}
+
+func (r *replicationCounter) ReplicationDone(Cell, int, int) {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}

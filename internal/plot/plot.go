@@ -1,8 +1,3 @@
-// Package plot renders risk analysis plots — performance (y) against
-// volatility (x), one marker per (policy, scenario) point, optional least
-// squares trend lines — in the formats the repository's tools emit: ASCII
-// for terminals, SVG for documents, and gnuplot/CSV data for external
-// toolchains (the paper's figures are gnuplot scatter plots).
 package plot
 
 import (

@@ -1,13 +1,3 @@
-// Package qos synthesizes the utility-computing service parameters —
-// deadline, budget, and penalty rate — that the SDSC trace does not carry,
-// following the paper's methodology (§5.3, after Irwin et al.): two job
-// classes (high and low urgency), normally distributed per-class factors, a
-// high:low ratio between the class means, and a bias that tightens the
-// parameters of longer-than-average jobs.
-//
-// It also models the inaccuracy of user runtime estimates: 0% inaccuracy
-// replaces the trace estimate with the true runtime; 100% keeps the trace
-// estimate; intermediate values interpolate.
 package qos
 
 import (

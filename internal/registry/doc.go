@@ -1,0 +1,20 @@
+// Package registry maps the command-line and service-layer spellings of
+// the evaluation's axes — economic model, estimate-inaccuracy Set, policy —
+// to their constructors and parameterizations. It is the single table the
+// cmd front-ends (simrun, riskbench, riskserved) share, so a policy or
+// model added to the scheduler shows up everywhere at once.
+//
+// The registry is deliberately dumb: parse a user spelling, return the
+// scheduler.Spec or economy.Model it names, list what exists. Anything
+// smarter — which policies belong to which model's Table V column, what a
+// Set means for default inaccuracy — stays with the owning package
+// (scheduler, experiment) and is only surfaced here. That keeps the
+// front-ends honest: they cannot construct a configuration the experiment
+// layer would not accept, and error messages for unknown spellings
+// enumerate the valid ones from the same table the parser used.
+//
+// Ordering matters for reproducibility of output: ListPolicies and friends
+// return deterministic, stable orderings (never map iteration), so -list
+// output, generated docs, and golden transcripts do not churn between
+// runs. repolint's maporder analyzer enforces this mechanically.
+package registry

@@ -1,8 +1,3 @@
-// Package registry maps the command-line and service-layer spellings of
-// the evaluation's axes — economic model, estimate-inaccuracy Set, policy —
-// to their constructors and parameterizations. It is the single table the
-// cmd front-ends (simrun, riskbench, riskserved) share, so a policy or
-// model added to the scheduler shows up everywhere at once.
 package registry
 
 import (

@@ -1,9 +1,3 @@
-// Package risk implements the paper's two evaluation methods (§4):
-// separate risk analysis of a single objective and integrated risk analysis
-// of a weighted combination of objectives, both expressed as (performance,
-// volatility) points; plus the risk-plot summaries and policy rankings of
-// Tables II–IV, and the a-priori projection the paper proposes as future
-// use of the a-posteriori results.
 package risk
 
 import (

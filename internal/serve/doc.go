@@ -1,0 +1,25 @@
+// Package serve is the service layer of the reproduction: a stdlib
+// net/http front-end that turns the batch simulation into a request-driven
+// utility-computing daemon (cmd/riskserved).
+//
+// Each session owns one step-driven scheduler.Session advanced in virtual
+// time per request, so a scripted online session is bit-for-bit identical
+// to the equivalent offline scheduler.Run — the determinism bridge the
+// tests pin with a committed golden journal. Wall-clock time never reaches
+// a simulation; it appears only at annotated operator-accounting sites
+// (idle eviction), each carrying a repolint //lint:allow wallclock
+// directive explaining why.
+//
+// The request surface mirrors the paper's admission workflow: a client
+// describes a job (width, estimate, deadline, budget), the service quotes
+// under the configured economic model and policy, and an accepted job
+// enters the session's virtual cluster. Sessions are independent — the
+// handler serializes requests per session but serves sessions
+// concurrently, and the concurrent-session tests run under the race
+// detector to keep that boundary honest.
+//
+// Concurrency here is request-level only and orthogonal to the
+// experiment-suite worker pool (see docs/performance.md): a session's
+// simulation still runs on one goroutine at a time, preserving the sim
+// kernel's single-threaded determinism contract.
+package serve

@@ -1,11 +1,3 @@
-// Package serve is the service layer of the reproduction: a stdlib
-// net/http front-end that turns the batch simulation into a request-driven
-// utility-computing daemon. Each session owns one step-driven
-// scheduler.Session advanced in virtual time per request, so a scripted
-// online session is bit-for-bit identical to the equivalent offline
-// scheduler.Run — the determinism bridge the tests pin. Wall-clock time
-// never reaches a simulation; it appears only at annotated
-// operator-accounting sites (idle eviction).
 package serve
 
 import (

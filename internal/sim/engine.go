@@ -1,33 +1,3 @@
-// Package sim provides a minimal deterministic discrete event simulation
-// kernel: a virtual clock and a priority queue of timestamped events.
-//
-// The kernel is intentionally small. Entities (clusters, schedulers,
-// workload feeders) schedule callbacks at future virtual times; the engine
-// dispatches them in (time, sequence) order so that runs are bit-for-bit
-// reproducible regardless of map iteration or goroutine scheduling. A single
-// simulation runs on one goroutine; parallelism in this repository happens
-// across simulations, not inside one.
-//
-// # Performance model
-//
-// The kernel is the innermost loop of every simulation, so it holds three
-// invariants (measured by cmd/benchjson's sim/* probes and pinned by the
-// BENCH_<n>.json trajectory):
-//
-//   - Zero steady-state allocations. Event records live on a per-engine
-//     free list; firing or cancelling an event recycles its record, and the
-//     next Schedule reuses it. Only heap/pool growth allocates.
-//   - No interface dispatch on the hot path. The priority queue is a
-//     concrete binary heap over *event with inlined (time, seq) comparisons
-//     rather than container/heap's interface-driven sift.
-//   - Labels are static strings. Schedule takes the label by value and
-//     never formats it; call sites must not build labels with fmt.Sprintf
-//     in hot paths (the label is diagnostic only).
-//
-// Recycling is safe against stale handles: Event is a value handle carrying
-// a generation number, and every recycle bumps the record's generation, so
-// Cancel on a fired, cancelled, or reused event is a detectable no-op
-// rather than a corruption (see Event).
 package sim
 
 import (

@@ -1,0 +1,5 @@
+// Package stats provides the seeded random distributions and summary
+// statistics used by the workload generator, QoS synthesizer, and risk
+// analysis. All randomness flows through an explicitly seeded *rand.Rand so
+// every simulation in this repository is reproducible.
+package stats

@@ -1,0 +1,5 @@
+// Package workload models parallel jobs and their sources: the Standard
+// Workload Format (SWF) used by the Parallel Workloads Archive, and a
+// synthetic generator calibrated to the statistics the paper reports for its
+// 5000-job subset of the SDSC SP2 trace.
+package workload
