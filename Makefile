@@ -32,8 +32,10 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # The determinism & correctness analyzer suite (see docs/architecture.md).
+# -tests includes _test.go files: test nondeterminism corrupts goldens and
+# flakes the shuffled pass just as surely as production nondeterminism.
 lint:
-	$(GO) run ./cmd/repolint ./...
+	$(GO) run ./cmd/repolint -tests ./...
 
 # Documentation gate: every relative link in docs/*.md (and the top-level
 # markdown) must resolve, and every internal/* package must carry a doc.go
@@ -53,12 +55,14 @@ cover:
 
 # Coverage floors: the fault injector is new, heavily-relied-on code and
 # must stay >= 90%; the cluster models must not regress below their
-# pre-fault-injection baseline.
+# pre-fault-injection baseline; the analyzer suite guards every other
+# invariant and must itself stay well-covered.
 cover-check:
-	@$(GO) test -cover ./internal/faults ./internal/cluster | awk ' \
+	@$(GO) test -cover ./internal/faults ./internal/cluster ./internal/lint | awk ' \
 		{ print } \
 		$$2 ~ /internal\/faults$$/  && $$5+0 < 90 { print "FAIL: internal/faults coverage " $$5 " below 90% floor"; bad=1 } \
 		$$2 ~ /internal\/cluster$$/ && $$5+0 < 95 { print "FAIL: internal/cluster coverage " $$5 " below 95% floor"; bad=1 } \
+		$$2 ~ /internal\/lint$$/    && $$5+0 < 85 { print "FAIL: internal/lint coverage " $$5 " below 85% floor"; bad=1 } \
 		END { exit bad }'
 
 # One benchmark iteration per table/figure/ablation: fast sanity pass,

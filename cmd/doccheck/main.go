@@ -1,4 +1,4 @@
-// Command doccheck keeps the documentation honest. It enforces two
+// Command doccheck keeps the documentation honest. It enforces three
 // repository invariants (the `make doc-check` CI gate):
 //
 //  1. Every relative markdown link in docs/*.md, README.md, EXPERIMENTS.md,
@@ -8,6 +8,10 @@
 //  2. Every package under internal/ has a doc.go whose package clause
 //     carries a package comment, so `go doc repro/internal/<pkg>` tells
 //     the same story as the handbook.
+//  3. The lint-rule table in docs/architecture.md names exactly the
+//     analyzers registered in internal/lint — a new analyzer cannot ship
+//     undocumented, and the handbook cannot describe a rule that no
+//     longer exists.
 //
 // Usage: doccheck [repo root] (default ".").
 package main
@@ -19,7 +23,10 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
+
+	"repro/internal/lint"
 )
 
 func main() {
@@ -53,7 +60,12 @@ func check(root string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(problems, docs...), nil
+	problems = append(problems, docs...)
+	rules, err := checkLintRules(root)
+	if err != nil {
+		return nil, err
+	}
+	return append(problems, rules...), nil
 }
 
 // markdownFiles returns the repo's prose surface: every docs/*.md plus the
@@ -107,6 +119,52 @@ func checkLinks(root string) ([]string, error) {
 				problems = append(problems, fmt.Sprintf("%s: broken link %q (%s does not exist)",
 					file, m[1], resolved))
 			}
+		}
+	}
+	return problems, nil
+}
+
+// lintRuleRe matches a rule row in the architecture handbook's lint
+// table: a line of the form "| `rule` | …".
+var lintRuleRe = regexp.MustCompile("(?m)^\\| `([a-z]+)` \\|")
+
+// checkLintRules cross-checks the rule table in docs/architecture.md
+// against the analyzer set registered in internal/lint, in both
+// directions. The driver-level `directive` hygiene rule is documented in
+// prose rather than the table, so only analyzer names are compared.
+// Scaffold repos without the handbook (the unit-test fixtures) have
+// nothing to cross-check.
+func checkLintRules(root string) ([]string, error) {
+	path := filepath.Join(root, "docs", "architecture.md")
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	documented := map[string]bool{}
+	for _, m := range lintRuleRe.FindAllStringSubmatch(string(data), -1) {
+		documented[m[1]] = true
+	}
+	var problems []string
+	registered := map[string]bool{}
+	for _, a := range lint.All() {
+		registered[a.Name] = true
+		if !documented[a.Name] {
+			problems = append(problems, fmt.Sprintf(
+				"docs/architecture.md: lint-rule table is missing registered analyzer `%s`", a.Name))
+		}
+	}
+	var names []string
+	for name := range documented {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !registered[name] {
+			problems = append(problems, fmt.Sprintf(
+				"docs/architecture.md: lint-rule table documents `%s`, which is not a registered analyzer", name))
 		}
 	}
 	return problems, nil

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/lint"
 )
 
 // scaffold builds a minimal repo shape under a temp dir.
@@ -80,6 +83,38 @@ func TestCheckUncommentedDocGo(t *testing.T) {
 	}
 	if len(problems) != 1 || !strings.Contains(problems[0], "no package comment") {
 		t.Fatalf("problems = %v, want one no-package-comment report", problems)
+	}
+}
+
+// TestCheckLintRuleTable pins the handbook/analyzer cross-check in both
+// directions: an analyzer missing from the table and a documented rule
+// with no registered analyzer are each a problem.
+func TestCheckLintRuleTable(t *testing.T) {
+	root := scaffold(t, "// Package pkg does a thing.\npackage pkg\n", "no links here\n")
+	var table strings.Builder
+	for _, a := range lint.All() {
+		if a.Name == "wallclock" {
+			continue // deliberately left undocumented
+		}
+		fmt.Fprintf(&table, "| `%s` | what it protects |\n", a.Name)
+	}
+	table.WriteString("| `phantom` | a rule that was removed |\n")
+	if err := os.WriteFile(filepath.Join(root, "docs", "architecture.md"),
+		[]byte(table.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := checkLintRules(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want exactly 2", problems)
+	}
+	if !strings.Contains(problems[0], "`wallclock`") {
+		t.Errorf("missing-analyzer problem not reported: %v", problems)
+	}
+	if !strings.Contains(problems[1], "`phantom`") {
+		t.Errorf("unknown-rule problem not reported: %v", problems)
 	}
 }
 

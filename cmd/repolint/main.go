@@ -10,13 +10,17 @@
 //
 // Usage:
 //
-//	repolint [-rules] [pattern ...]
+//	repolint [-rules] [-tests] [-json] [pattern ...]
 //
 // where each pattern is a package directory, a subtree like ./internal/...,
-// or ./... for the whole module containing the working directory.
+// or ./... for the whole module containing the working directory. -tests
+// additionally analyzes _test.go files (for the rules that apply to tests);
+// -json emits one NDJSON object per finding instead of the human lines, for
+// machine consumers such as the CI annotation matcher.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +40,8 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	rules := fs.Bool("rules", false, "print the rule catalog and exit")
+	tests := fs.Bool("tests", false, "also analyze _test.go files")
+	jsonOut := fs.Bool("json", false, "emit findings as NDJSON objects")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -54,20 +60,51 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "repolint:", err)
 		return 2
 	}
-	findings, err := lint.Run(root, patterns, lint.All())
+	findings, err := lint.RunWith(root, patterns, lint.All(), lint.Options{Tests: *tests})
 	if err != nil {
 		fmt.Fprintln(stderr, "repolint:", err)
 		return 2
 	}
 	for _, f := range findings {
 		f.Pos.Filename = relPath(dir, f.Pos.Filename)
-		fmt.Fprintln(stdout, f)
+		if *jsonOut {
+			writeJSON(stdout, f)
+		} else {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "repolint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the machine-readable finding shape. The field order is
+// fixed by the struct, and the findings themselves arrive deduplicated and
+// sorted from internal/lint, so -json output is byte-stable across runs —
+// a diffable artifact.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+func writeJSON(w io.Writer, f lint.Finding) {
+	b, err := json.Marshal(jsonFinding{
+		File: f.Pos.Filename,
+		Line: f.Pos.Line,
+		Col:  f.Pos.Column,
+		Rule: f.Rule,
+		Msg:  f.Msg,
+	})
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	w.Write(b)
 }
 
 // findModuleRoot walks up from dir to the nearest directory holding go.mod.

@@ -7,6 +7,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 )
 
@@ -86,12 +87,17 @@ func TestGoldenPanels(t *testing.T) {
 				if err := os.RemoveAll(goldenDir); err != nil {
 					t.Fatal(err)
 				}
-				for rel, data := range got {
+				rels := make([]string, 0, len(got))
+				for rel := range got {
+					rels = append(rels, rel)
+				}
+				sort.Strings(rels)
+				for _, rel := range rels {
 					path := filepath.Join(goldenDir, filepath.FromSlash(rel))
 					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 						t.Fatal(err)
 					}
-					if err := os.WriteFile(path, data, 0o644); err != nil {
+					if err := os.WriteFile(path, got[rel], 0o644); err != nil {
 						t.Fatal(err)
 					}
 				}

@@ -63,6 +63,7 @@ func TestServeSmoke(t *testing.T) {
 		base = "http://" + addr
 	case err := <-errc:
 		t.Fatal(err)
+	//lint:allow wallclock — liveness timeout for a real daemon under test, not simulation time
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not come up")
 	}
@@ -122,6 +123,7 @@ func TestServeSmoke(t *testing.T) {
 		if err != nil {
 			t.Fatalf("drain: %v", err)
 		}
+	//lint:allow wallclock — liveness timeout for a real daemon under test, not simulation time
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not drain")
 	}
@@ -142,6 +144,7 @@ func TestServeAddrInUse(t *testing.T) {
 	case addr = <-ready:
 	case err := <-errc:
 		t.Fatal(err)
+	//lint:allow wallclock — liveness timeout for a real daemon under test, not simulation time
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not come up")
 	}

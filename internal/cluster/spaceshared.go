@@ -122,6 +122,8 @@ func (s *SpaceShared) NodeDown(i int) bool { return s.down[i] }
 func (s *SpaceShared) RunningCount() int { return len(s.running) }
 
 // CanStart reports whether a job of the given width fits right now.
+//
+//lint:hot
 func (s *SpaceShared) CanStart(procs int) bool {
 	return procs <= s.free && procs <= len(s.ratings)
 }
@@ -130,6 +132,8 @@ func (s *SpaceShared) CanStart(procs int) bool {
 // mutate the busy count immediately afterwards. Down nodes do no work and
 // contribute nothing, but they stay in the capacity denominator — the
 // provider still owns them.
+//
+//lint:hot
 func (s *SpaceShared) accrue() {
 	now := s.engine.Now()
 	s.busyIntegral += float64(s.busyProcs) * float64(now-s.lastChange)
@@ -139,6 +143,8 @@ func (s *SpaceShared) accrue() {
 // Utilization returns the machine's processor utilization from time zero
 // to the current instant: busy processor-seconds over capacity (counted in
 // processors, not ratings). Zero at time zero.
+//
+//lint:hot
 func (s *SpaceShared) Utilization() float64 {
 	now := float64(s.engine.Now())
 	if now <= 0 {
@@ -309,6 +315,8 @@ func (s *SpaceShared) Running() []*SpaceJob {
 // believedEnd is when the scheduler expects sj to release its processors: a
 // job past its estimate is presumed to finish imminently (the standard
 // backfilling treatment of runtime under-estimates).
+//
+//lint:hot
 func (s *SpaceShared) believedEnd(sj *SpaceJob) sim.Time {
 	now := s.engine.Now()
 	if sj.EstEnd < now {
@@ -322,8 +330,11 @@ func (s *SpaceShared) believedEnd(sj *SpaceJob) sim.Time {
 // running jobs. This is the EASY backfilling "reservation" anchor. On a
 // heterogeneous machine it is count-based: which processors free up is not
 // modeled (backfilling has no canonical heterogeneous form).
+//
+//lint:hot
 func (s *SpaceShared) EarliestAvailable(procs int) (sim.Time, error) {
 	if procs > len(s.ratings) {
+		//lint:allow hotalloc — misconfiguration error path, fires at most once per run, never in steady state
 		return 0, fmt.Errorf("cluster: width %d exceeds machine size %d", procs, len(s.ratings))
 	}
 	if procs <= s.free {
@@ -352,6 +363,8 @@ func (s *SpaceShared) EarliestAvailable(procs int) (sim.Time, error) {
 
 // AvailableAt returns the number of processors expected to be free at time
 // t (>= now), per estimates of the running jobs.
+//
+//lint:hot
 func (s *SpaceShared) AvailableAt(t sim.Time) int {
 	free := s.free
 	for _, sj := range s.byEnd {

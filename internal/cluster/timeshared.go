@@ -350,6 +350,8 @@ func (t *TimeShared) onLapse(tj *TSJob) {
 
 // Utilization returns the machine's useful-work utilization from time zero
 // to the current instant: executed processor-seconds over capacity.
+//
+//lint:hot
 func (t *TimeShared) Utilization() float64 {
 	t.advance()
 	now := float64(t.engine.Now())
@@ -447,6 +449,8 @@ func (t *TimeShared) Lookup(j *workload.Job) *TSJob {
 }
 
 // advance integrates progress from the last update to the current time.
+//
+//lint:hot
 func (t *TimeShared) advance() {
 	now := t.engine.Now()
 	dt := float64(now - t.lastUpdate)

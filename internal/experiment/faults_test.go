@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -109,14 +110,17 @@ func TestResumeByteIdenticalWithFaults(t *testing.T) {
 	}
 
 	// Simulate a run killed partway: only part of the journal survives.
-	prior := make(map[string]obs.Record, len(refRecs))
-	kept := 0
-	for key, r := range refRecs {
-		if kept >= len(refRecs)/2 {
-			break
-		}
-		prior[key] = r
-		kept++
+	// The surviving half is chosen by sorted key so the test exercises the
+	// same interrupt point on every run.
+	keys := make([]string, 0, len(refRecs))
+	for key := range refRecs {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	kept := len(refRecs) / 2
+	prior := make(map[string]obs.Record, kept)
+	for _, key := range keys[:kept] {
+		prior[key] = refRecs[key]
 	}
 	if kept == 0 || kept == len(refRecs) {
 		t.Fatalf("degenerate interrupt: kept %d of %d records", kept, len(refRecs))

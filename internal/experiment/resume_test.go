@@ -3,6 +3,7 @@ package experiment
 import (
 	"path/filepath"
 	"reflect"
+	"sort"
 	"sync"
 	"testing"
 
@@ -194,9 +195,15 @@ func TestResumeSkipsCompletedCells(t *testing.T) {
 	}
 
 	// Simulate an interrupted run by dropping some journal records: the
-	// resumed run must execute exactly those cells.
-	dropped := 0
+	// resumed run must execute exactly those cells. The dropped set is
+	// chosen by sorted key so every run interrupts identically.
+	keys := make([]string, 0, len(prior))
 	for key := range prior {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	dropped := 0
+	for _, key := range keys {
 		if dropped >= 7 {
 			break
 		}

@@ -9,12 +9,12 @@ import (
 // refers to, returning its import path ("" when the expression is not a
 // package qualifier). Import renames are followed through the type
 // checker, so `clock "time"` does not evade a rule.
-func packageOf(pass *Pass, e ast.Expr) string {
+func packageOf(pkg *Package, e ast.Expr) string {
 	id, ok := e.(*ast.Ident)
 	if !ok {
 		return ""
 	}
-	pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
 	if !ok {
 		return ""
 	}
@@ -23,12 +23,14 @@ func packageOf(pass *Pass, e ast.Expr) string {
 
 // pkgFunc returns the name of the package-level function of pkgPath that
 // the selector calls or references ("" when it is anything else: a method,
-// a type, a variable, or another package).
-func pkgFunc(pass *Pass, sel *ast.SelectorExpr, pkgPath string) string {
-	if packageOf(pass, sel.X) != pkgPath {
+// a type, a variable, or another package). It takes the *Package rather
+// than the *Pass so the call-graph builder, which runs outside any pass,
+// can share it.
+func pkgFunc(pkg *Package, sel *ast.SelectorExpr, pkgPath string) string {
+	if packageOf(pkg, sel.X) != pkgPath {
 		return ""
 	}
-	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
 	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
 		return ""
 	}

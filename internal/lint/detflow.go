@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detflowAnalyzer upgrades wallclock/globalrand from direct-call checks to
+// whole-program reachability: an exported entry point of the simulation
+// packages must not be able to reach a wall-clock read or a global-rand
+// draw through any chain of calls, handler registrations, or interface
+// dispatches. A //lint:allow wallclock / globalrand / detflow directive on
+// the direct site is a sanitizer — the annotation records the reviewed
+// justification, so taint stops there instead of cascading a finding onto
+// every caller.
+//
+// The rule runs only over production entry points (exported functions, and
+// exported methods of exported types) of the determinism-critical packages;
+// unexported helpers are covered transitively through whoever exports them.
+var detflowAnalyzer = &Analyzer{
+	Name:  "detflow",
+	Doc:   "exported sim/cluster/scheduler/experiment API that can transitively reach time.Now or global rand",
+	Match: inPackages("internal/sim", "internal/cluster", "internal/scheduler", "internal/experiment"),
+	Run: func(pass *Pass) {
+		prog := pass.Prog
+		if prog == nil {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !isEntryPoint(pass.Pkg, fd) {
+					continue
+				}
+				obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				for _, kind := range []taintKind{taintWall, taintRand} {
+					if chain, ok := prog.taintedBy(obj, kind); ok {
+						pass.Reportf(fd.Name.Pos(),
+							"%s can reach %s (%s); results become run-dependent — fix the source site or annotate it with //lint:allow",
+							fd.Name.Name, kind, chain)
+					}
+				}
+			}
+		}
+	},
+}
+
+// isEntryPoint reports whether fd is part of the package's public API: an
+// exported function, or an exported method whose receiver type is also
+// exported.
+func isEntryPoint(pkg *Package, fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil {
+		return true
+	}
+	obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if pt, isPtr := t.(*types.Pointer); isPtr {
+		t = pt.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Exported()
+}

@@ -23,6 +23,23 @@ func (s allowSet) allows(f Finding) bool {
 	return s[f.Pos.Filename][f.Pos.Line][f.Rule]
 }
 
+// merge folds other's entries into s.
+func (s allowSet) merge(other allowSet) {
+	for file, lines := range other {
+		if s[file] == nil {
+			s[file] = map[int]map[string]bool{}
+		}
+		for line, rules := range lines {
+			if s[file][line] == nil {
+				s[file][line] = map[string]bool{}
+			}
+			for r := range rules {
+				s[file][line][r] = true
+			}
+		}
+	}
+}
+
 func (s allowSet) add(file string, line int, rule string) {
 	lines := s[file]
 	if lines == nil {

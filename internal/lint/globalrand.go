@@ -20,8 +20,9 @@ var randSeeded = map[string]bool{
 // source is shared across goroutines (draw order depends on scheduling) and
 // a time seed differs on every run.
 var globalrandAnalyzer = &Analyzer{
-	Name: "globalrand",
-	Doc:  "package-level math/rand functions or wall-clock-seeded sources; use an explicit seeded *rand.Rand",
+	Name:  "globalrand",
+	Doc:   "package-level math/rand functions or wall-clock-seeded sources; use an explicit seeded *rand.Rand",
+	Tests: true,
 	Run: func(pass *Pass) {
 		for _, f := range pass.Pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
@@ -30,7 +31,7 @@ var globalrandAnalyzer = &Analyzer{
 					return true
 				}
 				for _, path := range []string{"math/rand", "math/rand/v2"} {
-					name := pkgFunc(pass, sel, path)
+					name := pkgFunc(pass.Pkg, sel, path)
 					if name == "" {
 						continue
 					}
@@ -60,7 +61,7 @@ var globalrandAnalyzer = &Analyzer{
 				// twice for one seeding site.
 				isCtor := false
 				for _, path := range []string{"math/rand", "math/rand/v2"} {
-					switch pkgFunc(pass, sel, path) {
+					switch pkgFunc(pass.Pkg, sel, path) {
 					case "NewSource", "NewPCG", "NewChaCha8":
 						isCtor = true
 					}
@@ -71,7 +72,7 @@ var globalrandAnalyzer = &Analyzer{
 				for _, arg := range call.Args {
 					ast.Inspect(arg, func(m ast.Node) bool {
 						s, ok := m.(*ast.SelectorExpr)
-						if ok && pkgFunc(pass, s, "time") == "Now" {
+						if ok && pkgFunc(pass.Pkg, s, "time") == "Now" {
 							pass.Reportf(call.Pos(),
 								"rand source seeded from time.Now is different on every run; derive the seed from configuration")
 							return false

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotallocAnalyzer makes the PR4 zero-alloc invariant a static guarantee:
+// inside any function reachable from a //lint:hot-annotated root (the sim
+// event kernel's per-event API, the cluster models' incremental accounting
+// paths), constructs that the compiler must heap-allocate for are flagged.
+// The benchmark gate remains the dynamic check; this rule catches the
+// regression at review time, before a benchmark ever runs.
+//
+// Flagged constructs: fmt calls (they allocate for formatting and box every
+// argument), non-constant string concatenation, function literals (closure
+// capture), append / make / new, composite literals with reference-type
+// backing (slices, maps, channels, &T{}), string<->[]byte conversions, and
+// implicit interface boxing at ordinary call arguments.
+//
+// An intentional allocation on a hot path — pool growth, an error exit that
+// fires at most once per run — is annotated //lint:allow hotalloc with the
+// reason, keeping the reviewed exceptions enumerable.
+var hotallocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "allocation-causing construct in a function reachable from a //lint:hot root",
+	Run: func(pass *Pass) {
+		prog := pass.Prog
+		if prog == nil {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				root, ok := prog.hotRoot(obj)
+				if !ok {
+					continue
+				}
+				scanAllocs(pass, fd, displayName(root))
+			}
+		}
+	},
+}
+
+// scanAllocs walks one hot-reachable body and reports each allocating
+// construct, naming the hot root that makes the function hot.
+func scanAllocs(pass *Pass, fd *ast.FuncDecl, root string) {
+	info := pass.Pkg.Info
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s on a hot path (reachable from %s); move it off the per-event path or annotate //lint:allow hotalloc", what, root)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// The literal itself allocates the closure; its body is hot too
+			// (it may be the handler that runs per event), so keep walking.
+			report(x.Pos(), "function literal (closure capture) allocates")
+			return true
+		case *ast.CallExpr:
+			reportCallAllocs(pass, x, report)
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringExpr(info, x) && !isConstExpr(info, x) {
+				report(x.OpPos, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringExpr(info, x.Lhs[0]) {
+				report(x.TokPos, "string concatenation allocates")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					report(x.Pos(), "&composite literal allocates")
+					// Don't descend: the inner literal would double-report if
+					// it has reference-type backing.
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(x)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map, *types.Chan:
+					report(x.Pos(), "slice/map composite literal allocates")
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportCallAllocs handles the call-shaped allocation sources: builtins
+// (append, make, new), fmt calls, allocating conversions, and implicit
+// interface boxing of arguments.
+func reportCallAllocs(pass *Pass, call *ast.CallExpr, report func(token.Pos, string)) {
+	info := pass.Pkg.Info
+	fun := ast.Unparen(call.Fun)
+
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				report(call.Pos(), "append may grow the backing array")
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			}
+			return
+		}
+	}
+
+	// Conversions: string([]byte), []byte(string) and friends copy.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, info.TypeOf(call.Args[0])
+		if src != nil && allocatingConversion(dst, src) {
+			report(call.Pos(), "string/[]byte conversion copies and allocates")
+		}
+		return
+	}
+
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if name := pkgFunc(pass.Pkg, sel, "fmt"); name != "" {
+			report(call.Pos(), "fmt."+name+" allocates")
+			// fmt boxes its arguments too; one finding per call is enough.
+			return
+		}
+	}
+
+	reportBoxing(pass, call, report)
+}
+
+// reportBoxing flags ordinary call arguments whose concrete value is
+// implicitly converted to an interface parameter — each such conversion may
+// heap-allocate the boxed copy. Builtin calls are excluded (panic's
+// argument only allocates on the already-fatal path), as are calls whose
+// signature cannot be resolved (calls of function-typed variables keep
+// their concrete signature, so those still check).
+func reportBoxing(pass *Pass, call *ast.CallExpr, report func(token.Pos, string)) {
+	info := pass.Pkg.Info
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return
+		}
+	}
+	ft := info.TypeOf(fun)
+	if ft == nil {
+		return
+	}
+	sig, ok := ft.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through; nothing is boxed
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue // interface-to-interface assignment copies the word pair
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		report(arg.Pos(), "passing "+at.String()+" as "+pt.String()+" boxes it into an interface")
+	}
+}
+
+// allocatingConversion reports whether converting src to dst copies the
+// backing storage (string <-> []byte / []rune in either direction).
+func allocatingConversion(dst, src types.Type) bool {
+	return (isStringType(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune ||
+		e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && isStringType(t)
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// fmtFormatFuncs maps the fmt functions that take a format string to the
+// index of that format argument.
+var fmtFormatFuncs = map[string]int{
+	"Sprintf": 0,
+	"Errorf":  0,
+	"Printf":  0,
+	"Fprintf": 1,
+	"Appendf": 1,
+}
+
+// journalfmtAnalyzer protects the journal-byte oracle: obs journals and
+// NDJSON files are compared byte-for-byte across runs and (per the
+// ROADMAP's sharded-worker direction) across workers, so the bytes must be
+// a pure function of the data. %v and %+v on a map interpolate Go's
+// per-run-randomized iteration order into the output, and on floats they
+// pick a shortest-representation rendering that is easy to change by
+// accident (a value that becomes an int, a different formatting path).
+// Code in internal/obs must render maps via sorted keys and floats via
+// strconv.FormatFloat / strconv.AppendFloat with an explicit format and
+// precision.
+var journalfmtAnalyzer = &Analyzer{
+	Name:  "journalfmt",
+	Doc:   "%v/%+v on a map or float in journal-writing code; use sorted keys and strconv fixed formats",
+	Match: inPackages("internal/obs"),
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				name := pkgFunc(pass.Pkg, sel, "fmt")
+				fmtIdx, ok := fmtFormatFuncs[name]
+				if !ok || len(call.Args) <= fmtIdx {
+					return true
+				}
+				format, ok := constantString(pass.Pkg, call.Args[fmtIdx])
+				if !ok {
+					return true
+				}
+				for _, v := range verbArgs(format) {
+					if v.verb != 'v' {
+						continue
+					}
+					argIdx := fmtIdx + 1 + v.arg
+					if argIdx >= len(call.Args) {
+						continue
+					}
+					arg := call.Args[argIdx]
+					t := pass.Pkg.Info.TypeOf(arg)
+					if t == nil {
+						continue
+					}
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(arg.Pos(),
+							"%%%sv formats map %s in per-run-random iteration order; journaled bytes are the cross-worker oracle — render sorted keys explicitly", v.flags, t)
+					} else if isFloat(t) {
+						pass.Reportf(arg.Pos(),
+							"%%%sv formats float %s with shortest-representation rules; use strconv.FormatFloat with an explicit format and precision", v.flags, t)
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// constantString evaluates e to a compile-time string constant.
+func constantString(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	s := tv.Value.ExactString()
+	if !strings.HasPrefix(s, `"`) && !strings.HasPrefix(s, "`") {
+		return "", false
+	}
+	unq, err := strconv.Unquote(s)
+	if err != nil {
+		return "", false
+	}
+	return unq, true
+}
+
+// fmtVerb is one conversion in a format string: the verb character, its
+// flags, and the index of the operand it consumes (relative to the first
+// argument after the format).
+type fmtVerb struct {
+	verb  byte
+	flags string
+	arg   int
+}
+
+// verbArgs parses a Printf-style format string into its verbs with operand
+// indices. Explicit argument indexes (%[2]d) abort the parse — none occur
+// in this repository, and mis-attributing operands would mis-report.
+func verbArgs(format string) []fmtVerb {
+	var verbs []fmtVerb
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		flags := ""
+		// Flags, width, precision; '*' consumes an operand of its own.
+		for i < len(format) {
+			c := format[i]
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' {
+				flags += string(c)
+				i++
+			} else if c == '*' {
+				arg++
+				i++
+			} else if c >= '1' && c <= '9' || c == '.' {
+				i++
+			} else {
+				break
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		c := format[i]
+		if c == '%' {
+			continue
+		}
+		if c == '[' {
+			return nil // explicit argument index: bail out
+		}
+		verbs = append(verbs, fmtVerb{verb: c, flags: flags, arg: arg})
+		arg++
+	}
+	return verbs
+}

@@ -29,13 +29,22 @@ type Analyzer struct {
 	// Match restricts the analyzer to packages whose import path it
 	// accepts; nil applies the analyzer to every package.
 	Match func(pkgPath string) bool
+	// Tests marks the analyzer as applying to _test.go files when the run
+	// includes them (Options.Tests). Rules that stay off in tests document
+	// why: test assertions legitimately compare exact floats, and the
+	// call-graph rules (detflow, hotalloc) bind production entry points.
+	Tests bool
 	// Run inspects one package, reporting through the pass.
 	Run func(*Pass)
 }
 
 // Pass carries one analyzer run over one package.
 type Pass struct {
-	Pkg      *Package
+	Pkg *Package
+	// Prog is the whole-program view over every package the run loaded
+	// (the requested patterns plus their module-internal import closure);
+	// the call-graph analyzers resolve reachability through it.
+	Prog     *Program
 	findings []Finding
 }
 
@@ -50,9 +59,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // All returns the full rule catalog in report order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		detflowAnalyzer,
 		errignoreAnalyzer,
 		floateqAnalyzer,
 		globalrandAnalyzer,
+		hotallocAnalyzer,
+		journalfmtAnalyzer,
+		lockflowAnalyzer,
 		maporderAnalyzer,
 		wallclockAnalyzer,
 	}
@@ -71,11 +84,40 @@ func inPackages(suffixes ...string) func(string) bool {
 	}
 }
 
+// Options tunes one linter run.
+type Options struct {
+	// Tests includes _test.go files: every requested package is
+	// re-type-checked with its in-package test files merged in, and
+	// external foo_test packages are analyzed as packages of their own.
+	// Only analyzers that opt in (Analyzer.Tests) see the test files.
+	Tests bool
+}
+
 // Run loads the patterns from the module rooted at root and applies the
-// analyzers, returning suppression-filtered findings sorted by position.
-// Malformed //lint:allow directives are themselves reported under the
-// "directive" rule, so a typo cannot silently disable a suppression.
+// analyzers, returning suppression-filtered findings deduplicated and
+// sorted by position. Malformed //lint:allow directives are themselves
+// reported under the "directive" rule, so a typo cannot silently disable a
+// suppression.
 func Run(root string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	return RunWith(root, patterns, analyzers, Options{})
+}
+
+// pkgView is one analyzed compilation of a package: its files, the
+// suppression set scanned from them, and the directive-hygiene findings.
+type pkgView struct {
+	pkg    *Package
+	allows allowSet
+	bad    []Finding
+}
+
+func newView(pkg *Package) *pkgView {
+	v := &pkgView{pkg: pkg}
+	v.allows, v.bad = directives(pkg)
+	return v
+}
+
+// RunWith is Run with explicit Options.
+func RunWith(root string, patterns []string, analyzers []*Analyzer, opts Options) ([]Finding, error) {
 	l, err := NewLoader(root)
 	if err != nil {
 		return nil, err
@@ -84,24 +126,81 @@ func Run(root string, patterns []string, analyzers []*Analyzer) ([]Finding, erro
 	if err != nil {
 		return nil, err
 	}
+
+	// Scan directives across the whole loaded closure first: the Program's
+	// taint analysis treats //lint:allow directives anywhere in the tree as
+	// sanitizers, not just in the packages being reported on.
+	views := map[*Package]*pkgView{}
+	merged := allowSet{}
+	for _, pkg := range l.Packages() {
+		v := newView(pkg)
+		views[pkg] = v
+		merged.merge(v.allows)
+	}
+	prog := buildProgram(l.Packages(), merged)
+
 	var findings []Finding
 	for _, pkg := range pkgs {
-		allows, bad := directives(pkg)
-		findings = append(findings, bad...)
+		base := views[pkg]
+		// Test views are built lazily: only when the run includes tests and
+		// the package has test files.
+		var aug, ext *pkgView
+		if opts.Tests {
+			in, out, err := l.LoadTests(pkg)
+			if err != nil {
+				return nil, err
+			}
+			if in != nil {
+				aug = newView(in)
+			}
+			if out != nil {
+				ext = newView(out)
+			}
+		}
+		// Directive hygiene: the augmented view's files are a superset of the
+		// base view's, so report its findings instead of the base's when it
+		// exists (final dedup removes any overlap regardless).
+		if aug != nil {
+			findings = append(findings, aug.bad...)
+		} else {
+			findings = append(findings, base.bad...)
+		}
+		if ext != nil {
+			findings = append(findings, ext.bad...)
+		}
 		for _, a := range analyzers {
 			if a.Match != nil && !a.Match(pkg.Path) {
 				continue
 			}
-			pass := &Pass{Pkg: pkg}
-			a.Run(pass)
-			for _, f := range pass.findings {
-				f.Rule = a.Name
-				if !allows.allows(f) {
-					findings = append(findings, f)
+			targets := []*pkgView{base}
+			if opts.Tests && a.Tests {
+				if aug != nil {
+					targets = []*pkgView{aug}
+				}
+				if ext != nil {
+					targets = append(targets, ext)
+				}
+			}
+			for _, t := range targets {
+				pass := &Pass{Pkg: t.pkg, Prog: prog}
+				a.Run(pass)
+				for _, f := range pass.findings {
+					f.Rule = a.Name
+					if !t.allows.allows(f) {
+						findings = append(findings, f)
+					}
 				}
 			}
 		}
 	}
+	return dedupeSort(findings), nil
+}
+
+// dedupeSort orders findings by (file, line, column, rule, message) and
+// drops exact duplicates, so repolint output is byte-stable across runs
+// and across overlapping package views (a base package and its
+// test-augmented recompilation report each shared finding once).
+func dedupeSort(findings []Finding) []Finding {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -113,7 +212,21 @@ func Run(root string, patterns []string, analyzers []*Analyzer) ([]Finding, erro
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
-	return findings, nil
+	out := findings[:0]
+	for i, f := range findings {
+		if i > 0 {
+			p := out[len(out)-1]
+			if p.Pos.Filename == f.Pos.Filename && p.Pos.Line == f.Pos.Line &&
+				p.Pos.Column == f.Pos.Column && p.Rule == f.Rule && p.Msg == f.Msg {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
 }

@@ -55,7 +55,7 @@ func readWantMarkers(t *testing.T, root string) []*marker {
 
 func TestGoldenFixtures(t *testing.T) {
 	root := filepath.Join("testdata", "src")
-	findings, err := Run(root, []string{"./..."}, All())
+	findings, err := RunWith(root, []string{"./..."}, All(), Options{Tests: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,6 +113,81 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+}
+
+// TestRepoIsCleanWithTests is the -tests contract: the real tree stays
+// clean when _test.go files are analyzed too (make lint runs this mode).
+func TestRepoIsCleanWithTests(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunWith(root, []string{"./..."}, All(), Options{Tests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestDedupeSort pins the output contract the linter's own determinism
+// depends on: findings sorted by (file, line, column, rule, message) with
+// exact duplicates dropped — the same invariant the -json byte-stability
+// gate relies on.
+func TestDedupeSort(t *testing.T) {
+	mk := func(file string, line, col int, rule, msg string) Finding {
+		f := Finding{Rule: rule, Msg: msg}
+		f.Pos.Filename = file
+		f.Pos.Line = line
+		f.Pos.Column = col
+		return f
+	}
+	in := []Finding{
+		mk("b.go", 1, 1, "wallclock", "w"),
+		mk("a.go", 9, 2, "maporder", "m"),
+		mk("a.go", 9, 2, "maporder", "m"), // duplicate (overlapping package views)
+		mk("a.go", 9, 2, "floateq", "f"),
+		mk("a.go", 9, 1, "wallclock", "w"),
+		mk("a.go", 2, 5, "wallclock", "w"),
+	}
+	got := dedupeSort(in)
+	want := []Finding{
+		mk("a.go", 2, 5, "wallclock", "w"),
+		mk("a.go", 9, 1, "wallclock", "w"),
+		mk("a.go", 9, 2, "floateq", "f"),
+		mk("a.go", 9, 2, "maporder", "m"),
+		mk("b.go", 1, 1, "wallclock", "w"),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunDeterministic runs the golden corpus twice: two full pipeline
+// runs (fresh loaders, fresh type-checkers) must agree finding for
+// finding.
+func TestRunDeterministic(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	render := func() string {
+		findings, err := RunWith(root, []string{"./..."}, All(), Options{Tests: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, f := range findings {
+			fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+		}
+		return b.String()
+	}
+	if first, second := render(), render(); first != second {
+		t.Errorf("two runs disagree:\n--- first ---\n%s--- second ---\n%s", first, second)
 	}
 }
 

@@ -32,9 +32,9 @@ type Package struct {
 // Loader loads packages of a single module from source, using only the
 // standard library: repo-internal imports are parsed and type-checked
 // recursively, standard-library imports go through go/importer's source
-// importer. Test files (*_test.go) are not loaded — the determinism
-// invariants bind simulation code, and test assertions legitimately compare
-// exact values.
+// importer. Load itself skips test files (*_test.go) — the canonical
+// compilation of every package is test-free, which is what the call graph
+// is built over; LoadTests produces the additional test views on demand.
 type Loader struct {
 	Fset *token.FileSet
 
@@ -229,6 +229,92 @@ func (l *Loader) check(path, dir string) (*Package, error) {
 	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = p
 	return p, nil
+}
+
+// Packages returns every package loaded so far — the requested patterns
+// plus their module-internal import closure — sorted by import path, so
+// whole-program passes over the result are deterministic.
+func (l *Loader) Packages() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, l.pkgs[p])
+	}
+	return out
+}
+
+// LoadTests loads the test files of an already-loaded package. It returns
+// up to two additional package views: the package re-type-checked with its
+// in-package _test.go files merged in ("augmented"), and the external
+// foo_test package, either of which is nil when the directory has no such
+// files.
+//
+// The augmented view is a fresh compilation — new *types.Package, new
+// *types.Info — but its imports still resolve through the Loader's cache,
+// so an in-package test importing a package that itself imports the package
+// under test sees the cached non-test compilation rather than tripping the
+// import-cycle guard (exactly how `go test` builds test binaries).
+func (l *Loader) LoadTests(pkg *Package) (aug, ext *Package, err error) {
+	entries, err := os.ReadDir(pkg.Dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: reading %s: %w", pkg.Dir, err)
+	}
+	var inFiles, extFiles []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(pkg.Dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: %w", err)
+		}
+		if f.Name.Name == pkg.Types.Name() {
+			inFiles = append(inFiles, f)
+		} else {
+			extFiles = append(extFiles, f)
+		}
+	}
+	if len(inFiles) > 0 {
+		files := append(append([]*ast.File{}, pkg.Files...), inFiles...)
+		aug, err = l.checkFiles(pkg.Path, pkg.Dir, files)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(extFiles) > 0 {
+		ext, err = l.checkFiles(pkg.Path+"_test", pkg.Dir, extFiles)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return aug, ext, nil
+}
+
+// checkFiles type-checks an explicit file list as one package, without
+// touching the Loader's cache (used for the test views, which must not
+// shadow the canonical non-test compilations the call graph is built on).
+func (l *Loader) checkFiles(path, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v (%d error(s))", path, errs[0], len(errs))
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
 // Import implements types.Importer: module-internal paths are loaded from

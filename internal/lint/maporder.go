@@ -25,8 +25,9 @@ var maporderWriters = map[string]bool{
 // set; sort before use). Order-insensitive bodies — sums, counts, in-place
 // mutation — are not flagged.
 var maporderAnalyzer = &Analyzer{
-	Name: "maporder",
-	Doc:  "range over a map with an order-sensitive body (append / write / early exit); iterate sorted keys",
+	Name:  "maporder",
+	Doc:   "range over a map with an order-sensitive body (append / write / early exit); iterate sorted keys",
+	Tests: true,
 	Run: func(pass *Pass) {
 		for _, f := range pass.Pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {

@@ -1,0 +1,26 @@
+// Package detutil is the taint-source helper for the detflow golden cases:
+// scheduler entry points in the fixture reach these functions indirectly,
+// so the direct-call rules fire here and the reachability rule fires at the
+// entry points.
+package detutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock; callers become wall-clock tainted.
+func Stamp() time.Time {
+	return time.Now() // want wallclock "time.Now"
+}
+
+// Draw uses the shared global rand; callers become rand tainted.
+func Draw() int {
+	return rand.Intn(10) // want globalrand "math/rand.Intn"
+}
+
+// StampAllowed carries the documented exemption, which acts as a taint
+// sanitizer: callers stay clean.
+func StampAllowed() time.Time {
+	return time.Now() //lint:allow wallclock — fixture: documented real-time read; sanitizes callers
+}

@@ -1,0 +1,44 @@
+// Package hotalloc is the positive golden case for the hotalloc rule:
+// allocation-causing constructs in any function reachable from a
+// //lint:hot root are reported; the same constructs in cold code are not.
+package hotalloc
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+// Root is the annotated hot entry; everything it reaches is hot.
+//
+//lint:hot
+func Root(n int) string {
+	helper(n)
+	return fmt.Sprintf("%d", n) // want hotalloc "fmt.Sprintf"
+}
+
+// helper is hot by reachability from Root.
+func helper(n int) {
+	var xs []int
+	xs = append(xs, n)           // want hotalloc "append"
+	m := make(map[int]int)       // want hotalloc "make"
+	p := &pair{a: n}             // want hotalloc "composite literal"
+	v := []int{n}                // want hotalloc "slice/map composite literal"
+	f := func() int { return n } // want hotalloc "function literal"
+	s := label(n) + "x"          // want hotalloc "string concatenation"
+	s += "y"                     // want hotalloc "string concatenation"
+	b := []byte(s)               // want hotalloc "conversion"
+	sink(n)                      // want hotalloc "boxes"
+	_, _, _, _, _, _ = xs, m, p, v, b, f
+}
+
+func label(int) string { return "n" }
+
+func sink(v any) { _ = v }
+
+// cold has the same constructs but is not reachable from any hot root:
+// nothing is reported.
+func cold(n int) {
+	var xs []int
+	xs = append(xs, n)
+	s := fmt.Sprintf("%d", n)
+	_, _ = xs, s
+}

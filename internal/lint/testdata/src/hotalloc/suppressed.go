@@ -1,0 +1,10 @@
+package hotalloc
+
+// Pool is a hot root whose one allocation is a documented, amortized
+// exception — the pool-growth idiom the real event kernel uses.
+//
+//lint:hot
+func Pool(free []*pair) []*pair {
+	//lint:allow hotalloc — fixture: amortized pool growth, steady state reuses the free list
+	return append(free, &pair{})
+}

@@ -1,0 +1,25 @@
+package obs
+
+import "fmt"
+
+// FormatMap interpolates a map with %v: iteration order is random per run,
+// so the journaled bytes would differ across runs.
+func FormatMap(m map[string]int) string {
+	return fmt.Sprintf("m=%v", m) // want journalfmt "map"
+}
+
+// FormatFloat renders a float with %+v instead of a fixed strconv format.
+func FormatFloat(x float64) string {
+	return fmt.Sprintf("x=%+v", x) // want journalfmt "float"
+}
+
+// FormatFixed uses explicit verbs and widths: deterministic, not flagged.
+func FormatFixed(n int, x float64) string {
+	return fmt.Sprintf("n=%d x=%.6f", n, x)
+}
+
+// FormatDebug is exempted in place: the string feeds a log line, not the
+// journal bytes.
+func FormatDebug(m map[string]int) string {
+	return fmt.Sprintf("m=%v", m) //lint:allow journalfmt — fixture: debug output, never journaled
+}

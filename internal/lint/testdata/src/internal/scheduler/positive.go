@@ -1,0 +1,50 @@
+// Package scheduler is the positive golden case for the detflow rule,
+// placed under internal/scheduler so the analyzer's package scope applies:
+// exported entry points that transitively reach a wall-clock read or a
+// global-rand draw — through plain calls, interface dispatch, or handler
+// references — are reported at their declaration.
+package scheduler
+
+import "fixture/detutil"
+
+// Run reaches the wall clock two calls away.
+func Run() { // want detflow "wall clock"
+	prepare()
+}
+
+func prepare() {
+	detutil.Stamp()
+}
+
+// Shuffle reaches the global rand source.
+func Shuffle() { // want detflow "rand"
+	detutil.Draw()
+}
+
+// Ticker is a module-defined dispatch interface; taint in an
+// implementation flows to callers of the interface method.
+type Ticker interface {
+	Tick()
+}
+
+type wall struct{}
+
+func (wall) Tick() {
+	detutil.Stamp()
+}
+
+// Drive is tainted through interface dispatch: some Ticker in the module
+// reads the wall clock.
+func Drive(t Ticker) { // want detflow "wall clock"
+	t.Tick()
+}
+
+// Register is tainted through a handler reference: it never calls Stamp,
+// but hands it to other code that will.
+func Register(hooks *[]func()) { // want detflow "wall clock"
+	*hooks = append(*hooks, run)
+}
+
+func run() {
+	detutil.Stamp()
+}

@@ -1,0 +1,43 @@
+// Package serve is the positive golden case for the lockflow rule, placed
+// under internal/serve so the analyzer's package scope applies: leaked
+// locks, returns while holding, and blocking work under the session-shard
+// mutex are reported.
+package serve
+
+import (
+	"io"
+	"sync"
+)
+
+type shard struct {
+	mu  sync.Mutex
+	out chan int
+}
+
+// Leaks takes the lock and exits without releasing it.
+func Leaks(sh *shard) {
+	sh.mu.Lock() // want lockflow "no matching Unlock"
+}
+
+// ReturnsWhileHeld has an early return between Lock and Unlock.
+func ReturnsWhileHeld(sh *shard, flag bool) {
+	sh.mu.Lock()
+	if flag {
+		return // want lockflow "return while holding"
+	}
+	sh.mu.Unlock()
+}
+
+// SendsUnderShard performs a channel send while holding the shard mutex.
+func SendsUnderShard(sh *shard) {
+	sh.mu.Lock()
+	sh.out <- 1 // want lockflow "channel send while holding shard mutex"
+	sh.mu.Unlock()
+}
+
+// WritesUnderShard performs I/O while holding the shard mutex.
+func WritesUnderShard(sh *shard, w io.Writer) {
+	sh.mu.Lock()
+	w.Write(nil) // want lockflow "Write while holding shard mutex"
+	sh.mu.Unlock()
+}

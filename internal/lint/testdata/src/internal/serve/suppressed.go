@@ -1,0 +1,49 @@
+package serve
+
+import "sync"
+
+// logger is not the shard type: its mutex may be held across a send.
+type logger struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// DeferDiscipline is the canonical clean shape: defer releases on every
+// path, so early returns are fine.
+func DeferDiscipline(sh *shard, flag bool) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if flag {
+		return 1
+	}
+	return 0
+}
+
+// DeferClosure releases through a deferred closure; also clean.
+func DeferClosure(sh *shard) {
+	sh.mu.Lock()
+	defer func() { sh.mu.Unlock() }()
+}
+
+// Paired is the straight-line shape the store uses: lock, mutate, unlock,
+// then return.
+func Paired(sh *shard, readers *sync.RWMutex) int {
+	readers.RLock()
+	n := cap(sh.out)
+	readers.RUnlock()
+	return n
+}
+
+// NonShardSend holds a non-shard mutex across a send: allowed (only the
+// session-shard mutex gates every session on the shard).
+func NonShardSend(l *logger) {
+	l.mu.Lock()
+	l.ch <- 1
+	l.mu.Unlock()
+}
+
+// Reviewed carries a documented exemption for an intentional leak shape
+// (the lock is released by the caller).
+func Reviewed(sh *shard) {
+	sh.mu.Lock() //lint:allow lockflow — fixture: handoff locking, released by the caller
+}

@@ -1,0 +1,7 @@
+package stats
+
+// Exact float comparison in a test file: floateq does not apply to tests
+// (assertions legitimately compare exact values), so nothing is reported.
+func exactlyEqual(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,13 @@
+package wallclock
+
+import "time"
+
+// Test files are analyzed when the run includes them (-tests): wallclock
+// applies, with the same in-place exemption mechanism.
+func measure() time.Duration {
+	return time.Since(time.Unix(0, 0)) // want wallclock "time.Since"
+}
+
+func waitBriefly() {
+	time.Sleep(0) //lint:allow wallclock — fixture: real-time test timeout, documented
+}

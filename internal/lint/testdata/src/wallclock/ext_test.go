@@ -1,0 +1,14 @@
+package wallclock_test
+
+import (
+	"time"
+
+	"fixture/wallclock"
+)
+
+// External test packages (package foo_test) are compiled separately but
+// analyzed under the same rules.
+func deadline() time.Time {
+	_ = wallclock.Pure()
+	return time.Now() // want wallclock "time.Now"
+}

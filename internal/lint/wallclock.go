@@ -25,8 +25,9 @@ var wallclockFuncs = map[string]bool{
 // accounting — real time is legitimate but must be annotated so every
 // wall-clock dependency in the tree is documented.
 var wallclockAnalyzer = &Analyzer{
-	Name: "wallclock",
-	Doc:  "time.Now/Since/... outside the event kernel; sim time must come from sim.Engine.Now",
+	Name:  "wallclock",
+	Doc:   "time.Now/Since/... outside the event kernel; sim time must come from sim.Engine.Now",
+	Tests: true,
 	Run: func(pass *Pass) {
 		for _, f := range pass.Pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
@@ -34,7 +35,7 @@ var wallclockAnalyzer = &Analyzer{
 				if !ok {
 					return true
 				}
-				if name := pkgFunc(pass, sel, "time"); wallclockFuncs[name] {
+				if name := pkgFunc(pass.Pkg, sel, "time"); wallclockFuncs[name] {
 					pass.Reportf(sel.Pos(),
 						"time.%s reads the wall clock; simulation time must come from the event kernel (sim.Engine.Now) — real-time accounting needs a //lint:allow wallclock directive", name)
 				}

@@ -60,6 +60,7 @@ func TestTerminalConcurrentCellDone(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+	//lint:allow wallclock — real-time ticker test: the terminal reporter prints on a wall-clock cadence
 	time.Sleep(5 * time.Millisecond) // let the ticker print at least once
 	term.SuiteDone(Summary{})
 }

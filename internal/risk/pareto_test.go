@@ -119,6 +119,7 @@ func TestParetoFrontProperty(t *testing.T) {
 			}
 			p := Point{Performance: s.Points[0].Performance, Volatility: s.Points[0].Volatility}
 			dominated := false
+			//lint:allow maporder — pure existence check (any dominating front point); order cannot change the result
 			for _, fp := range inFront {
 				if Dominates(fp, p) {
 					dominated = true

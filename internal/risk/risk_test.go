@@ -75,6 +75,7 @@ func TestNormalizeRangeProperty(t *testing.T) {
 			raw[string(rune('a'+i%26))+string(rune('0'+i/26))] = math.Abs(math.Mod(v, 1e6))
 		}
 		for _, o := range AllObjectives {
+			//lint:allow maporder — all-elements range predicate; early return is order-insensitive
 			for _, n := range NormalizeAcross(o, raw) {
 				if n < 0 || n > 1 || math.IsNaN(n) {
 					return false
