@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot cover cover-check bench bench-capture bench-diff bench-gate doc-check fuzz fuzz-sim results examples clean verify lint fmt-check serve-smoke
+.PHONY: all build vet test race race-hot cover cover-check bench bench-capture bench-diff bench-gate doc-check fuzz fuzz-sim fuzz-broker results examples clean verify lint fmt-check serve-smoke
 
 all: build vet test
 
@@ -55,13 +55,15 @@ cover:
 
 # Coverage floors: the fault injector is new, heavily-relied-on code and
 # must stay >= 90%; the cluster models must not regress below their
-# pre-fault-injection baseline; the analyzer suite guards every other
-# invariant and must itself stay well-covered.
+# pre-fault-injection baseline; the federation meta-broker routes every
+# federated job and must stay >= 90%; the analyzer suite guards every
+# other invariant and must itself stay well-covered.
 cover-check:
-	@$(GO) test -cover ./internal/faults ./internal/cluster ./internal/lint | awk ' \
+	@$(GO) test -cover ./internal/faults ./internal/cluster ./internal/broker ./internal/lint | awk ' \
 		{ print } \
 		$$2 ~ /internal\/faults$$/  && $$5+0 < 90 { print "FAIL: internal/faults coverage " $$5 " below 90% floor"; bad=1 } \
 		$$2 ~ /internal\/cluster$$/ && $$5+0 < 95 { print "FAIL: internal/cluster coverage " $$5 " below 95% floor"; bad=1 } \
+		$$2 ~ /internal\/broker$$/  && $$5+0 < 90 { print "FAIL: internal/broker coverage " $$5 " below 90% floor"; bad=1 } \
 		$$2 ~ /internal\/lint$$/    && $$5+0 < 85 { print "FAIL: internal/lint coverage " $$5 " below 85% floor"; bad=1 } \
 		END { exit bad }'
 
@@ -78,7 +80,7 @@ OUT ?= BENCH_local.json
 bench-capture:
 	$(GO) run ./cmd/benchjson -config short -suite -out $(OUT)
 
-OLD ?= BENCH_PR6.json
+OLD ?= BENCH_PR8.json
 NEW ?= BENCH_local.json
 bench-diff:
 	$(GO) run ./cmd/benchjson -diff $(OLD) $(NEW)
@@ -113,6 +115,11 @@ fuzz:
 # Short fuzz of the event kernel's pool/heap invariants.
 fuzz-sim:
 	$(GO) test ./internal/sim/ -run FuzzEngine -fuzz FuzzEngine -fuzztime 30s
+
+# Short fuzz of the meta-broker's routing tie-break against its reference
+# reimplementation (adversarial quotes: NaN, ±Inf, subnormals).
+fuzz-broker:
+	$(GO) test ./internal/broker/ -run FuzzBrokerRoute -fuzz FuzzBrokerRoute -fuzztime 30s
 
 # The paper-scale evaluation: 2880 simulations, a few minutes.
 results:

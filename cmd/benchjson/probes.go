@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/economy"
 	"repro/internal/experiment"
+	"repro/internal/registry"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -33,6 +34,7 @@ func probes(config string) []probe {
 		{"cluster/spaceshared-earliest/nodes=128", probeSpaceSharedEarliest},
 		{"suite/commodity-small/jobs=150", probeSuiteSmall},
 		{"suite/replicated-cells/reps=4", probeSuiteReplicated},
+		{"suite/federated/clusters=4", probeSuiteFederated},
 	}
 	if config == "paper" {
 		ps = append(ps, probe{"suite/paper-scale/jobs=5000", probePaperScale})
@@ -268,6 +270,32 @@ func probeSuiteReplicated(b *testing.B) {
 	}
 	if s := b.Elapsed().Seconds(); s > 0 {
 		b.ReportMetric(float64(sims)/s, "sims/s")
+	}
+}
+
+// probeSuiteFederated runs a narrow sweep through the 4-cluster hetero4
+// federation meta-broker — per-job quote shopping across four live
+// sessions plus the per-cell federation merge, the federated counterpart
+// of suite/commodity-small.
+func probeSuiteFederated(b *testing.B) {
+	fed, err := registry.ParseFederation("hetero4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiment.DefaultSuiteConfig(economy.Commodity, true)
+	cfg.Jobs = 150
+	cfg.ScenarioFilter = []string{"workload"}
+	cfg.Federation = fed
+	jobs := 0
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs += res.Cells() * cfg.Jobs
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(jobs)/s, "jobs/s")
 	}
 }
 

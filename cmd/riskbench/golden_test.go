@@ -67,15 +67,23 @@ func listFiles(t *testing.T, root string) map[string][]byte {
 
 // TestGoldenPanels is the end-to-end determinism pin: the full riskbench
 // pipeline — trace synthesis, QoS attachment, simulation with and without
-// fault injection, risk analysis, and every emitted panel format — must
-// reproduce the committed bytes exactly. Regenerate deliberately with
+// fault injection (plain and federated), risk analysis, and every emitted
+// panel format — must reproduce the committed bytes exactly. Regenerate
+// deliberately with
 //
 //	go test ./cmd/riskbench -run TestGoldenPanels -update
 func TestGoldenPanels(t *testing.T) {
-	for _, mode := range []string{"none", "high"} {
+	for _, mode := range []string{"none", "high", "federated"} {
 		t.Run(mode, func(t *testing.T) {
 			out := t.TempDir()
-			if err := run(goldenOptions(mode, out)); err != nil {
+			opts := goldenOptions(mode, out)
+			if mode == "federated" {
+				// The federated cell: the same tiny grid routed through the
+				// heterogeneous 4-cluster preset under high faults.
+				opts = goldenOptions("high", out)
+				opts.federation = "hetero4"
+			}
+			if err := run(opts); err != nil {
 				t.Fatal(err)
 			}
 			got := listFiles(t, out)

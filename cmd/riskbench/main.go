@@ -42,24 +42,25 @@ import (
 // options carries every riskbench flag so the whole pipeline is callable
 // (and golden-testable) in-process.
 type options struct {
-	model     string
-	set       string
-	analysis  string
-	jobs      int
-	nodes     int
-	workers   int
-	reps      int
-	scenario  string
-	policies  string
-	faults    string
-	faultSeed int64
-	outDir    string
-	ascii     bool
-	resume    bool
-	progress  time.Duration
-	pprofAddr string
-	stdout    io.Writer
-	stderr    io.Writer
+	model      string
+	set        string
+	analysis   string
+	jobs       int
+	nodes      int
+	workers    int
+	reps       int
+	scenario   string
+	policies   string
+	faults     string
+	faultSeed  int64
+	federation string
+	outDir     string
+	ascii      bool
+	resume     bool
+	progress   time.Duration
+	pprofAddr  string
+	stdout     io.Writer
+	stderr     io.Writer
 }
 
 func main() {
@@ -75,6 +76,7 @@ func main() {
 	flag.StringVar(&o.policies, "policy", "", "restrict to a comma-separated list of policies")
 	flag.StringVar(&o.faults, "faults", "none", "failure intensity axis: none, low, or high")
 	flag.Int64Var(&o.faultSeed, "faultseed", 1, "base seed for the failure process")
+	flag.StringVar(&o.federation, "federation", "", "route every cell through a named federation preset (single, twin, hetero4, datacenter); empty = the plain single cluster")
 	flag.StringVar(&o.outDir, "out", "results", "output directory")
 	flag.BoolVar(&o.ascii, "ascii", false, "also print ASCII plots to stdout")
 	flag.BoolVar(&o.resume, "resume", false, "skip cells already recorded in <out>/journal.jsonl by a prior run")
@@ -99,6 +101,10 @@ func run(o options) error {
 		return err
 	}
 	intensity, err := faults.ParseIntensity(o.faults)
+	if err != nil {
+		return err
+	}
+	federation, err := registry.ParseFederation(o.federation)
 	if err != nil {
 		return err
 	}
@@ -152,6 +158,7 @@ func run(o options) error {
 			}
 			cfg.FaultIntensity = intensity
 			cfg.FaultSeed = o.faultSeed
+			cfg.Federation = federation
 			cfg.Observer = observer
 			cfg.Resume = prior
 			start := time.Now() //lint:allow wallclock — suite wall-time accounting, not simulation time
@@ -167,6 +174,13 @@ func run(o options) error {
 				return err
 			}
 			panels = append(panels, refs...)
+			if len(res.Clusters) > 0 {
+				fedRefs, err := emitFederated(res, m, cfg.SetName(), o.outDir, o.ascii)
+				if err != nil {
+					return err
+				}
+				panels = append(panels, fedRefs...)
+			}
 			if err := writeResultsJSON(res, m, cfg.SetName(), o.outDir); err != nil {
 				return err
 			}
@@ -290,6 +304,50 @@ func emit(res *experiment.Results, m economy.Model, setName, analysis, outDir st
 			return nil, err
 		}
 		fmt.Printf("-- %s/%s best overall policy (performance): %s\n", m, setName, perf[0].Series.Policy)
+	}
+	return refs, nil
+}
+
+// emitFederated writes one integrated-four-objective panel per federation
+// member: each cluster's share of every cell projected through ClusterView
+// and relabeled "policy@cluster", so a member's risk profile reads with the
+// same machinery as the federation-wide figures. Clusters are emitted in
+// sorted-name order — the panel list (and index.html) must not depend on
+// map iteration order.
+func emitFederated(res *experiment.Results, m economy.Model, setName, outDir string, ascii bool) ([]panelRef, error) {
+	views := make(map[string]*experiment.Results, len(res.Clusters))
+	for ci, name := range res.Clusters {
+		view, err := res.ClusterView(ci)
+		if err != nil {
+			return nil, err
+		}
+		views[name] = view
+	}
+	names := make([]string, 0, len(views))
+	for name := range views {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	base := filepath.Join(outDir, slug(m.String()), slug(setName), "federated")
+	_, figInt := figureNumbers(m)
+	var refs []panelRef
+	for _, name := range names {
+		series, err := views[name].IntegratedSeries(risk.AllObjectives)
+		if err != nil {
+			return nil, err
+		}
+		series = risk.QualifySeries(series, name)
+		title := fmt.Sprintf("Figure %d (%s, %s): integrated — all four objectives, cluster %s", figInt+1, m, setName, name)
+		dir := filepath.Join(base, slug(name))
+		if err := writePanel(dir, title, series, ascii); err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(outDir, dir)
+		if err != nil {
+			rel = dir
+		}
+		refs = append(refs, panelRef{Title: title, Dir: rel})
 	}
 	return refs, nil
 }

@@ -1,0 +1,9 @@
+set title "Figure 5 (commodity, Set A): integrated — all four objectives, cluster fast"
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right
+plot \
+  "plot.dat" index 0 title "FCFS-BF@fast" with points pointtype 1, \
+  "plot.dat" index 1 title "Libra@fast" with points pointtype 2

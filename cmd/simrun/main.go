@@ -14,10 +14,12 @@ import (
 	_ "net/http/pprof" // -pprof: registers /debug/pprof on the default mux
 	"os"
 
+	"repro/internal/broker"
 	"repro/internal/economy"
 	"repro/internal/experiment"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/scheduler"
 	"repro/internal/workload"
@@ -36,6 +38,7 @@ func main() {
 		qosSeed    = flag.Int64("qos-seed", 2, "QoS synthesis seed")
 		faultMode  = flag.String("faults", "none", "failure intensity axis: none, low, or high")
 		faultSeed  = flag.Int64("faultseed", 1, "base seed for the failure process")
+		federation = flag.String("federation", "", "route jobs through a named federation preset (see -list); empty = the plain single cluster")
 		reps       = flag.Int("reps", 1, "replications (independently seeded trace/QoS/fault draws, averaged)")
 		workers    = flag.Int("workers", 0, "goroutines for parallel replications (0 = GOMAXPROCS); results are identical for any value")
 		swf        = flag.String("swf", "", "optional SWF trace file to use instead of the synthetic trace")
@@ -55,6 +58,10 @@ func main() {
 		for _, line := range registry.ListPolicies() {
 			fmt.Println(line)
 		}
+		fmt.Println()
+		for _, line := range registry.ListFederations() {
+			fmt.Println(line)
+		}
 		return
 	}
 
@@ -66,8 +73,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fed, err := registry.ParseFederation(*federation)
+	if err != nil {
+		fatal(err)
+	}
 	if *policy == "all" {
-		compareAll(m, *jobs, *nodes, *inaccuracy, *arrival, *urgent, *traceSeed, *qosSeed, intensity, *faultSeed, *reps, *workers)
+		compareAll(m, fed, *jobs, *nodes, *inaccuracy, *arrival, *urgent, *traceSeed, *qosSeed, intensity, *faultSeed, *reps, *workers)
 		return
 	}
 	spec, err := scheduler.SpecByName(*policy)
@@ -81,6 +92,7 @@ func main() {
 	cfg.QoSSeed = *qosSeed
 	cfg.FaultIntensity = intensity
 	cfg.FaultSeed = *faultSeed
+	cfg.Federation = fed
 	cfg.Replications = *reps
 	cfg.Workers = *workers
 	if *swf != "" {
@@ -100,7 +112,11 @@ func main() {
 	params.HighUrgencyFrac = *urgent / 100
 
 	var rep metrics.Report
+	var fedRec *obs.FederationRecord
 	if *dump != "" {
+		if fed != nil {
+			fatal(fmt.Errorf("-dump is per-machine and does not combine with -federation"))
+		}
 		// The audit trail forces serial replications (RunCellDetailed);
 		// without -dump, replications run in parallel on -workers.
 		var outcomes []*metrics.Outcome
@@ -120,7 +136,7 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		rep, err = experiment.RunCell(cfg, params, spec)
+		rep, fedRec, err = experiment.RunCellFederated(cfg, params, spec)
 		if err != nil {
 			fatal(err)
 		}
@@ -135,11 +151,21 @@ func main() {
 		rep.Profitability, rep.TotalUtility, rep.TotalBudget)
 	fmt.Printf("mean slowdown  %.2f    mean response %.1f s\n", rep.MeanSlowdown, rep.MeanResponseTime)
 	fmt.Printf("utilization    %.2f %%\n", rep.Utilization*100)
+	if fedRec != nil {
+		fmt.Printf("\nfederation (%s, routing digest %s)\n", *federation, fedRec.RoutingDigest)
+		fmt.Printf("%-12s %6s %7s %8s %6s %13s %15s\n",
+			"cluster", "nodes", "routed", "wait(s)", "SLA%", "reliability%", "profitability%")
+		for _, c := range fedRec.Clusters {
+			fmt.Printf("%-12s %6d %7d %8.1f %6.2f %13.2f %15.2f\n",
+				c.Name, c.Nodes, c.Routed, c.Report.Wait, c.Report.SLA, c.Report.Reliability, c.Report.Profitability)
+		}
+	}
 }
 
 // compareAll runs every Table V policy of the model on the same workload
-// and prints a side-by-side objective table.
-func compareAll(m economy.Model, jobs, nodes int, inaccuracy, arrival, urgent float64, traceSeed, qosSeed int64, intensity faults.Intensity, faultSeed int64, reps, workers int) {
+// (optionally through a federation) and prints a side-by-side objective
+// table.
+func compareAll(m economy.Model, fed *broker.Federation, jobs, nodes int, inaccuracy, arrival, urgent float64, traceSeed, qosSeed int64, intensity faults.Intensity, faultSeed int64, reps, workers int) {
 	cfg := experiment.DefaultSuiteConfig(m, inaccuracy >= 50)
 	cfg.Jobs = jobs
 	cfg.Nodes = nodes
@@ -147,6 +173,7 @@ func compareAll(m economy.Model, jobs, nodes int, inaccuracy, arrival, urgent fl
 	cfg.QoSSeed = qosSeed
 	cfg.FaultIntensity = intensity
 	cfg.FaultSeed = faultSeed
+	cfg.Federation = fed
 	cfg.Replications = reps
 	cfg.Workers = workers
 	params := experiment.DefaultParams(inaccuracy)

@@ -1,0 +1,108 @@
+package broker
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzBrokerRoute drives PickCluster with adversarial quote/availability/
+// risk inputs — including NaN, ±Inf, subnormals, and negative zeros decoded
+// straight from the fuzz bytes — and cross-checks it against an
+// independently written reference selector implementing the documented
+// tie-break. It also asserts order-independence: reversing the candidate
+// list must elect the same cluster, since the order is total over distinct
+// cluster indices.
+func FuzzBrokerRoute(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.Float64bits(1)))
+	seed := make([]byte, 0, 6*24)
+	for i := 0; i < 6; i++ {
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(float64(i)))
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(float64(100-i)))
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(0.25))
+	}
+	f.Add(seed)
+	inf := binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.Inf(1)))
+	nan := binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.NaN()))
+	f.Add(append(append(append([]byte{}, inf...), nan...), inf...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode up to 64 candidates of 3 float64s each; cluster indices
+		// are sequential, as the broker builds them.
+		var cands []Candidate
+		for i := 0; i+24 <= len(data) && len(cands) < 64; i += 24 {
+			cands = append(cands, Candidate{
+				Cluster:   len(cands),
+				Quote:     math.Float64frombits(binary.LittleEndian.Uint64(data[i:])),
+				Available: math.Float64frombits(binary.LittleEndian.Uint64(data[i+8:])),
+				Risk:      math.Float64frombits(binary.LittleEndian.Uint64(data[i+16:])),
+			})
+		}
+		got := PickCluster(cands)
+		if len(cands) == 0 {
+			if got != -1 {
+				t.Fatalf("PickCluster(empty) = %d, want -1", got)
+			}
+			return
+		}
+		found := false
+		for _, c := range cands {
+			if c.Cluster == got {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("PickCluster returned %d, not a candidate", got)
+		}
+		if want := referencePick(cands); got != want {
+			t.Fatalf("PickCluster = %d, reference = %d, candidates %+v", got, want, cands)
+		}
+		rev := make([]Candidate, len(cands))
+		for i, c := range cands {
+			rev[len(cands)-1-i] = c
+		}
+		if again := PickCluster(rev); again != got {
+			t.Fatalf("order dependence: forward %d, reversed %d, candidates %+v", got, again, cands)
+		}
+	})
+}
+
+// referencePick reimplements the routing contract from its specification,
+// independently of PickCluster: filter to the finite-availability subset if
+// any, then select the minimum under (quote, availability, risk, index)
+// with NaN comparing equal at its rule.
+func referencePick(cands []Candidate) int {
+	pool := make([]Candidate, 0, len(cands))
+	for _, c := range cands {
+		if !math.IsInf(c.Available, 1) {
+			pool = append(pool, c)
+		}
+	}
+	if len(pool) == 0 {
+		pool = append(pool, cands...)
+	}
+	less := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return false
+		}
+		return a < b
+	}
+	best := pool[0]
+	for _, c := range pool[1:] {
+		switch {
+		case less(c.Quote, best.Quote):
+			best = c
+		case less(best.Quote, c.Quote):
+		case less(c.Available, best.Available):
+			best = c
+		case less(best.Available, c.Available):
+		case less(c.Risk, best.Risk):
+			best = c
+		case less(best.Risk, c.Risk):
+		case c.Cluster < best.Cluster:
+			best = c
+		}
+	}
+	return best.Cluster
+}

@@ -1,0 +1,21 @@
+package cluster
+
+import "fmt"
+
+// UniformRatings returns a rating vector for a homogeneous machine whose
+// every node runs at speed times the reference rate — the per-cluster speed
+// profile of a federation member. speed 1 is the reference machine; the
+// broker passes the result straight to the scheduler's NodeRatings.
+func UniformRatings(nodes int, speed float64) []float64 {
+	if nodes <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive node count %d", nodes))
+	}
+	if speed <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive node speed %v", speed))
+	}
+	ratings := make([]float64, nodes)
+	for i := range ratings {
+		ratings[i] = speed
+	}
+	return ratings
+}

@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestUniformRatings(t *testing.T) {
+	r := UniformRatings(3, 2.5)
+	if len(r) != 3 {
+		t.Fatalf("got %d ratings, want 3", len(r))
+	}
+	for i, v := range r {
+		if v != 2.5 {
+			t.Fatalf("rating[%d] = %v, want 2.5", i, v)
+		}
+	}
+	// The vector must be accepted by both rated constructors.
+	NewSpaceSharedRated(sim.NewEngine(), r)
+	NewTimeSharedRated(sim.NewEngine(), r)
+}
+
+func TestUniformRatingsPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		nodes int
+		speed float64
+	}{
+		{"zero nodes", 0, 1},
+		{"negative nodes", -1, 1},
+		{"zero speed", 4, 0},
+		{"negative speed", 4, -2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("UniformRatings(%d, %v) did not panic", tc.nodes, tc.speed)
+				}
+			}()
+			UniformRatings(tc.nodes, tc.speed)
+		})
+	}
+}

@@ -16,13 +16,16 @@ type resultsJSON struct {
 	Model     string               `json:"model"`
 	SetName   string               `json:"set"`
 	Policies  []string             `json:"policies"`
+	Clusters  []string             `json:"clusters,omitempty"`
 	Scenarios []scenarioResultJSON `json:"scenarios"`
 }
 
 type scenarioResultJSON struct {
-	Name    string                      `json:"name"`
-	Values  []float64                   `json:"values"`
-	Reports []map[string]metrics.Report `json:"reports"`
+	Name           string                        `json:"name"`
+	Values         []float64                     `json:"values"`
+	Reports        []map[string]metrics.Report   `json:"reports"`
+	ClusterReports []map[string][]metrics.Report `json:"cluster_reports,omitempty"`
+	RoutingDigests []map[string]string           `json:"routing_digests,omitempty"`
 }
 
 // WriteJSON serializes the results so a later process (or cmd/riskplot)
@@ -32,12 +35,15 @@ func (r *Results) WriteJSON(w io.Writer) error {
 		Model:    r.Model.String(),
 		SetName:  r.SetName,
 		Policies: r.Policies,
+		Clusters: r.Clusters,
 	}
 	for _, sc := range r.Scenarios {
 		out.Scenarios = append(out.Scenarios, scenarioResultJSON{
-			Name:    sc.Name,
-			Values:  sc.Values,
-			Reports: sc.Reports,
+			Name:           sc.Name,
+			Values:         sc.Values,
+			Reports:        sc.Reports,
+			ClusterReports: sc.ClusterReports,
+			RoutingDigests: sc.RoutingDigests,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -60,7 +66,7 @@ func ReadJSON(r io.Reader) (*Results, error) {
 	default:
 		return nil, fmt.Errorf("experiment: unknown model %q in results file", in.Model)
 	}
-	out := &Results{Model: model, SetName: in.SetName, Policies: in.Policies}
+	out := &Results{Model: model, SetName: in.SetName, Policies: in.Policies, Clusters: in.Clusters}
 	for _, sc := range in.Scenarios {
 		if len(sc.Reports) != len(sc.Values) {
 			return nil, fmt.Errorf("experiment: scenario %q has %d report cells for %d values",
@@ -74,10 +80,28 @@ func ReadJSON(r io.Reader) (*Results, error) {
 				}
 			}
 		}
+		// A federated file carries the per-cluster breakdown for every cell
+		// it carries a report for; a plain file carries neither field.
+		if len(in.Clusters) > 0 {
+			if len(sc.ClusterReports) != len(sc.Values) || len(sc.RoutingDigests) != len(sc.Values) {
+				return nil, fmt.Errorf("experiment: federated scenario %q has %d cluster cells and %d digest cells for %d values",
+					sc.Name, len(sc.ClusterReports), len(sc.RoutingDigests), len(sc.Values))
+			}
+			for vi, cell := range sc.ClusterReports {
+				for _, p := range in.Policies {
+					if len(cell[p]) != len(in.Clusters) {
+						return nil, fmt.Errorf("experiment: scenario %q value %d policy %q has %d cluster reports for %d clusters",
+							sc.Name, vi, p, len(cell[p]), len(in.Clusters))
+					}
+				}
+			}
+		}
 		out.Scenarios = append(out.Scenarios, ScenarioResult{
-			Name:    sc.Name,
-			Values:  sc.Values,
-			Reports: sc.Reports,
+			Name:           sc.Name,
+			Values:         sc.Values,
+			Reports:        sc.Reports,
+			ClusterReports: sc.ClusterReports,
+			RoutingDigests: sc.RoutingDigests,
 		})
 	}
 	return out, nil

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/broker"
 	"repro/internal/economy"
 	"repro/internal/faults"
 	"repro/internal/metrics"
@@ -31,6 +32,21 @@ const ReplicationSeedStride = 1000
 // repSeed applies the replication-seed offset convention to a base seed.
 func repSeed(base int64, r int) int64 {
 	return base + ReplicationSeedStride*int64(r)
+}
+
+// ClusterFaultSeedStride extends the seed convention to federations:
+// cluster c of a federated cell draws its failure process at
+// FaultSeed + ReplicationSeedStride·r + ClusterFaultSeedStride·c, so every
+// cluster gets an independent substream while cluster 0 keeps exactly the
+// single-cluster seed — which is what lets a 1-cluster federation
+// reproduce the plain path bit for bit. The stride dwarfs any realistic
+// replication offset (1000·reps) so the two conventions cannot collide.
+const ClusterFaultSeedStride = 1_000_000
+
+// clusterFaultSeed applies both seed conventions for one federated
+// cluster's failure process.
+func clusterFaultSeed(base int64, r, cluster int) int64 {
+	return repSeed(base, r) + ClusterFaultSeedStride*int64(cluster)
 }
 
 // SuiteConfig parameterizes one full evaluation suite: one economic model,
@@ -77,6 +93,16 @@ type SuiteConfig struct {
 	// of TraceSeed so the same workload can be replayed under different
 	// failure histories.
 	FaultSeed int64
+	// Federation optionally routes every cell through the federation
+	// meta-broker (internal/broker) instead of the single Nodes-sized
+	// machine: one policy instance and one fault process per cluster, jobs
+	// placed by quote-shopping. Each cluster's failure process draws at
+	// the cluster-stride sub-seed (see ClusterFaultSeedStride); a cluster
+	// with its own FaultIntensity overrides the suite's. A federation
+	// equivalent to the single-cluster run (one cluster, Nodes-sized,
+	// neutral speed/price, inherited intensity) produces byte-identical
+	// cell keys, reports, and journals to Federation == nil.
+	Federation *broker.Federation
 	// Synth optionally overrides the trace generator configuration (Jobs
 	// still wins for the job count); nil uses the SDSC SP2 calibration.
 	Synth *workload.SynthConfig
@@ -142,7 +168,7 @@ func (c SuiteConfig) replications() int {
 // resume) and stale after any config change.
 func (c SuiteConfig) CellKey(scenario string, value float64, policy string) string {
 	reps := c.replications()
-	return obs.Key(
+	parts := []string{
 		c.Model.String(),
 		c.SetName(),
 		scenario,
@@ -156,7 +182,26 @@ func (c SuiteConfig) CellKey(scenario string, value float64, policy string) stri
 		c.workloadFingerprint(),
 		c.FaultIntensity.String(),
 		strconv.FormatInt(c.FaultSeed, 10),
-	)
+	}
+	// A federation folds its full identity into the key — except when it
+	// is equivalent to the plain single-cluster run, which must keep the
+	// identical key so journals and resume state stay interchangeable
+	// between the two spellings of the same simulation.
+	if c.federated() {
+		parts = append(parts, "federation")
+		parts = append(parts, c.Federation.KeyParts()...)
+	}
+	return obs.Key(parts...)
+}
+
+// federated reports whether cells run through the meta-broker AND differ
+// from the plain path: a nil federation or one equivalent to the single
+// Nodes-sized cluster keeps every output byte of today's non-federated
+// run. (A degenerate federation still executes through the broker — the
+// differential tests rely on that being a distinction without a
+// difference.)
+func (c SuiteConfig) federated() bool {
+	return c.Federation != nil && !c.Federation.EquivalentToSingle(c.Nodes, c.FaultIntensity)
 }
 
 // workloadFingerprint identifies the workload source. A synthetic trace
@@ -184,19 +229,60 @@ func (c SuiteConfig) workloadFingerprint() string {
 }
 
 // ScenarioResult holds one scenario's reports: Reports[valueIdx][policy].
+// For a federated suite (see SuiteConfig.Federation) the per-cluster
+// breakdown rides along: ClusterReports[valueIdx][policy][clusterIdx] in
+// federation order, and RoutingDigests[valueIdx][policy] is the cell's
+// routing-determinism digest. Both are nil for non-federated (or
+// degenerate-federation) runs.
 type ScenarioResult struct {
-	Name    string
-	Values  []float64
-	Reports []map[string]metrics.Report
+	Name           string
+	Values         []float64
+	Reports        []map[string]metrics.Report
+	ClusterReports []map[string][]metrics.Report
+	RoutingDigests []map[string]string
 }
 
 // Results is the raw output of a suite: every report of every cell, plus
-// the identifiers needed to label plots.
+// the identifiers needed to label plots. Clusters names the federation
+// members (in federation order) when the suite ran federated; empty
+// otherwise.
 type Results struct {
 	Model     economy.Model
 	SetName   string
 	Policies  []string
+	Clusters  []string
 	Scenarios []ScenarioResult
+}
+
+// ClusterView projects a federated suite's results down to one cluster:
+// the same grid, with every cell's report replaced by that cluster's share.
+// The view feeds the per-cluster risk panels — the full separate/integrated
+// analysis machinery applies unchanged to one federation member.
+func (r *Results) ClusterView(ci int) (*Results, error) {
+	if ci < 0 || ci >= len(r.Clusters) {
+		return nil, fmt.Errorf("experiment: cluster index %d out of range (%d clusters)", ci, len(r.Clusters))
+	}
+	out := &Results{Model: r.Model, SetName: r.SetName, Policies: r.Policies}
+	for _, sc := range r.Scenarios {
+		view := ScenarioResult{
+			Name:    sc.Name,
+			Values:  sc.Values,
+			Reports: make([]map[string]metrics.Report, len(sc.Values)),
+		}
+		for vi := range sc.Values {
+			view.Reports[vi] = make(map[string]metrics.Report, len(r.Policies))
+			for _, p := range r.Policies {
+				reports, ok := sc.ClusterReports[vi][p]
+				if !ok || ci >= len(reports) {
+					return nil, fmt.Errorf("experiment: %s[%d]/%s has no report for cluster %d",
+						sc.Name, vi, p, ci)
+				}
+				view.Reports[vi][p] = reports[ci]
+			}
+		}
+		out.Scenarios = append(out.Scenarios, view)
+	}
+	return out, nil
 }
 
 // Cells returns the number of (scenario, value, policy) cells — i.e. the
@@ -246,6 +332,11 @@ func Run(cfg SuiteConfig) (*Results, error) {
 	if _, err := faults.ParseIntensity(string(cfg.FaultIntensity)); err != nil {
 		return nil, err
 	}
+	if cfg.Federation != nil {
+		if err := cfg.Federation.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	cache := newTraceCache(cfg, base)
 	specs := scheduler.ForModel(cfg.Model)
 	if len(cfg.PolicyFilter) > 0 {
@@ -289,6 +380,12 @@ func Run(cfg SuiteConfig) (*Results, error) {
 	for _, s := range specs {
 		res.Policies = append(res.Policies, s.Name)
 	}
+	federated := cfg.federated()
+	if federated {
+		for _, cs := range cfg.Federation.Clusters {
+			res.Clusters = append(res.Clusters, cs.Name)
+		}
+	}
 	res.Scenarios = make([]ScenarioResult, len(scenarios))
 	for si, sc := range scenarios {
 		res.Scenarios[si] = ScenarioResult{
@@ -296,9 +393,32 @@ func Run(cfg SuiteConfig) (*Results, error) {
 			Values:  append([]float64(nil), sc.Values...),
 			Reports: make([]map[string]metrics.Report, len(sc.Values)),
 		}
+		if federated {
+			res.Scenarios[si].ClusterReports = make([]map[string][]metrics.Report, len(sc.Values))
+			res.Scenarios[si].RoutingDigests = make([]map[string]string, len(sc.Values))
+		}
 		for vi := range sc.Values {
 			res.Scenarios[si].Reports[vi] = make(map[string]metrics.Report, len(specs))
+			if federated {
+				res.Scenarios[si].ClusterReports[vi] = make(map[string][]metrics.Report, len(specs))
+				res.Scenarios[si].RoutingDigests[vi] = make(map[string]string, len(specs))
+			}
 		}
+	}
+
+	// recordFederation projects one cell's merged federation record into the
+	// results grid (per-cluster reports in federation order + the routing
+	// digest). No-op for non-federated cells.
+	recordFederation := func(si, vi int, policy string, fed *obs.FederationRecord) {
+		if fed == nil {
+			return
+		}
+		reports := make([]metrics.Report, len(fed.Clusters))
+		for ci, c := range fed.Clusters {
+			reports[ci] = c.Report
+		}
+		res.Scenarios[si].ClusterReports[vi][policy] = reports
+		res.Scenarios[si].RoutingDigests[vi][policy] = fed.RoutingDigest
 	}
 
 	observer := cfg.Observer
@@ -317,6 +437,7 @@ func Run(cfg SuiteConfig) (*Results, error) {
 		params     Params
 		started    atomic.Bool
 		reports    []metrics.Report
+		feds       []*obs.FederationRecord
 		remaining  int
 		wall       time.Duration
 		err        error // first replication error, by replication index
@@ -340,10 +461,12 @@ func Run(cfg SuiteConfig) (*Results, error) {
 					Value:      value,
 					Policy:     spec.Name,
 				}
-				if rec, ok := cfg.Resume[cell.Key]; ok {
+				if rec, ok := cfg.Resume[cell.Key]; ok && (!federated || rec.Federation != nil) {
 					res.Scenarios[si].Reports[vi][spec.Name] = rec.Report
+					recordFederation(si, vi, spec.Name, rec.Federation)
 					resumed = append(resumed, obs.Record{
-						Cell: cell, Replications: reps, Resumed: true, Report: rec.Report,
+						Cell: cell, Replications: reps, Resumed: true,
+						Report: rec.Report, Federation: rec.Federation,
 					})
 					continue
 				}
@@ -355,7 +478,9 @@ func Run(cfg SuiteConfig) (*Results, error) {
 				}
 				pending = append(pending, &pendingCell{
 					si: si, vi: vi, pi: pi, cell: cell, params: p,
-					reports: make([]metrics.Report, reps), remaining: reps, errRep: reps,
+					reports:   make([]metrics.Report, reps),
+					feds:      make([]*obs.FederationRecord, reps),
+					remaining: reps, errRep: reps,
 				})
 			}
 		}
@@ -378,6 +503,7 @@ func Run(cfg SuiteConfig) (*Results, error) {
 	type outcome struct {
 		unit
 		report metrics.Report
+		fed    *obs.FederationRecord
 		wall   time.Duration
 		err    error
 	}
@@ -399,9 +525,9 @@ func Run(cfg SuiteConfig) (*Results, error) {
 					observer.CellStart(pc.cell)
 				}
 				start := time.Now() //lint:allow wallclock — per-replication wall-time accounting for the journal, not simulation time
-				rep, err := runReplication(cfg, cache, pc.params, specs[pc.pi], u.r)
+				rep, fed, err := runReplication(cfg, cache, pc.params, specs[pc.pi], u.r)
 				wall := time.Since(start) //lint:allow wallclock — per-replication wall-time accounting for the journal, not simulation time
-				outCh <- outcome{unit: u, report: rep, wall: wall, err: err}
+				outCh <- outcome{unit: u, report: rep, fed: fed, wall: wall, err: err}
 			}
 		}()
 	}
@@ -428,6 +554,7 @@ func Run(cfg SuiteConfig) (*Results, error) {
 			}
 		} else {
 			pc.reports[o.r] = o.report
+			pc.feds[o.r] = o.fed
 			if repObserver != nil {
 				repObserver.ReplicationDone(pc.cell, o.r, reps)
 			}
@@ -440,13 +567,16 @@ func Run(cfg SuiteConfig) (*Results, error) {
 			continue
 		}
 		report := metrics.AverageReports(pc.reports)
+		fed := reduceFederationRecords(pc.feds)
 		res.Scenarios[pc.si].Reports[pc.vi][specs[pc.pi].Name] = report
+		recordFederation(pc.si, pc.vi, specs[pc.pi].Name, fed)
 		executed++
 		observer.CellDone(obs.Record{
 			Cell:         pc.cell,
 			Replications: reps,
 			WallSeconds:  pc.wall.Seconds(),
 			Report:       report,
+			Federation:   fed,
 		})
 	}
 	elapsed := time.Since(suiteStart) //lint:allow wallclock — suite wall-time accounting for obs.Summary, not simulation time
@@ -527,20 +657,37 @@ func (c *traceCache) get(seed int64) ([]*workload.Job, error) {
 // the replication's seed through the shared cache (or reuse a fixed
 // external trace, which cannot be re-drawn — only the QoS and fault seeds
 // vary across its replications), clone it, scale arrivals, synthesize QoS,
-// and simulate under the policy. This is the worker pool's unit of work.
-func runReplication(cfg SuiteConfig, cache *traceCache, p Params, spec scheduler.Spec, r int) (metrics.Report, error) {
+// and simulate under the policy — through the federation meta-broker when
+// one is configured, on the single machine otherwise. The federation
+// record is nil unless the federation actually differs from the plain
+// path. This is the worker pool's unit of work.
+func runReplication(cfg SuiteConfig, cache *traceCache, p Params, spec scheduler.Spec, r int) (metrics.Report, *obs.FederationRecord, error) {
 	trace := cfg.Trace
 	if trace == nil {
 		var err error
 		trace, err = cache.get(repSeed(cfg.TraceSeed, r))
 		if err != nil {
-			return metrics.Report{}, err
+			return metrics.Report{}, nil, err
 		}
 	}
 	jobs := workload.CloneAll(trace)
 	workload.ScaleArrivals(jobs, p.ArrivalFactor)
 	if err := qos.Synthesize(jobs, p.QoSConfig(repSeed(cfg.QoSSeed, r))); err != nil {
-		return metrics.Report{}, err
+		return metrics.Report{}, nil, err
+	}
+	if cfg.Federation != nil {
+		res, err := broker.Run(jobs, *cfg.Federation, spec.New, broker.RunConfig{
+			Model:  cfg.Model,
+			Faults: federationFaultConfigs(cfg, jobs, r),
+		})
+		if err != nil {
+			return metrics.Report{}, nil, err
+		}
+		var fedRec *obs.FederationRecord
+		if cfg.federated() {
+			fedRec = federationRecord(res)
+		}
+		return res.Federation, fedRec, nil
 	}
 	// The failure process is scaled to this replication's prepared
 	// workload (after arrival scaling), so the axis bites identically
@@ -550,12 +697,91 @@ func runReplication(cfg SuiteConfig, cache *traceCache, p Params, spec scheduler
 		f := cfg.FaultIntensity.Config(repSeed(cfg.FaultSeed, r), faults.JobsHorizon(jobs))
 		faultCfg = &f
 	}
-	return scheduler.Run(jobs, spec.New, scheduler.RunConfig{
+	rep, err := scheduler.Run(jobs, spec.New, scheduler.RunConfig{
 		Nodes:     cfg.Nodes,
 		Model:     cfg.Model,
 		BasePrice: economy.DefaultBasePrice,
 		Faults:    faultCfg,
 	})
+	return rep, nil, err
+}
+
+// federationFaultConfigs derives one failure process per cluster for
+// replication r: each cluster's effective intensity (its own, or the
+// suite's when unset) expanded at the cluster-stride sub-seed over the
+// replication's workload horizon. Nil when no cluster injects faults.
+func federationFaultConfigs(cfg SuiteConfig, jobs []*workload.Job, r int) []*faults.Config {
+	fed := *cfg.Federation
+	var out []*faults.Config
+	horizon := 0.0
+	for ci, cs := range fed.Clusters {
+		intensity := cs.FaultIntensity
+		if intensity == "" {
+			intensity = cfg.FaultIntensity
+		}
+		if !intensity.Enabled() {
+			continue
+		}
+		if out == nil {
+			out = make([]*faults.Config, len(fed.Clusters))
+			// The failure process is scaled to the replication's prepared
+			// workload, exactly as on the plain path.
+			horizon = faults.JobsHorizon(jobs)
+		}
+		f := intensity.Config(clusterFaultSeed(cfg.FaultSeed, r, ci), horizon)
+		out[ci] = &f
+	}
+	return out
+}
+
+// federationRecord converts one replication's broker result into the
+// journal shape.
+func federationRecord(res *broker.Result) *obs.FederationRecord {
+	rec := &obs.FederationRecord{
+		Clusters:      make([]obs.ClusterRecord, len(res.Clusters)),
+		RoutingDigest: res.RoutingDigest,
+	}
+	for i, c := range res.Clusters {
+		rec.Clusters[i] = obs.ClusterRecord{Name: c.Name, Nodes: c.Nodes, Routed: c.Routed, Report: c.Report}
+	}
+	return rec
+}
+
+// reduceFederationRecords merges the per-replication federation records of
+// one cell in replication order — the federated counterpart of the
+// order-fixed report reduce. Per-cluster reports are averaged cluster by
+// cluster, routed counts take the rounded mean, and the cell digest is the
+// hash of the per-replication digests in replication order (a single
+// replication keeps its digest verbatim, so the journal stays directly
+// comparable to a broker run). Nil in (non-federated cell) is nil out.
+func reduceFederationRecords(feds []*obs.FederationRecord) *obs.FederationRecord {
+	if len(feds) == 0 || feds[0] == nil {
+		return nil
+	}
+	if len(feds) == 1 {
+		return feds[0]
+	}
+	out := &obs.FederationRecord{Clusters: make([]obs.ClusterRecord, len(feds[0].Clusters))}
+	digests := make([]string, len(feds))
+	reports := make([]metrics.Report, len(feds))
+	for ci := range out.Clusters {
+		routed := 0.0
+		for r, f := range feds {
+			reports[r] = f.Clusters[ci].Report
+			routed += float64(f.Clusters[ci].Routed)
+		}
+		out.Clusters[ci] = obs.ClusterRecord{
+			Name:   feds[0].Clusters[ci].Name,
+			Nodes:  feds[0].Clusters[ci].Nodes,
+			Routed: int(routed/float64(len(feds)) + 0.5),
+			Report: metrics.AverageReports(reports),
+		}
+	}
+	for r, f := range feds {
+		digests[r] = f.RoutingDigest
+	}
+	out.RoutingDigest = obs.Key(digests...)
+	return out
 }
 
 // runCell runs every replication of one cell and reduces them in
@@ -563,9 +789,10 @@ func runReplication(cfg SuiteConfig, cache *traceCache, p Params, spec scheduler
 // so the two paths are bit-for-bit interchangeable. Replications run on
 // min(Workers, reps) goroutines (Workers ≤ 0 meaning GOMAXPROCS), which
 // is what lets a single paper-scale cell with -reps N use N cores.
-func runCell(cfg SuiteConfig, cache *traceCache, p Params, spec scheduler.Spec) (metrics.Report, error) {
+func runCell(cfg SuiteConfig, cache *traceCache, p Params, spec scheduler.Spec) (metrics.Report, *obs.FederationRecord, error) {
 	reps := cfg.replications()
 	reports := make([]metrics.Report, reps)
+	feds := make([]*obs.FederationRecord, reps)
 	errs := make([]error, reps)
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -581,17 +808,17 @@ func runCell(cfg SuiteConfig, cache *traceCache, p Params, spec scheduler.Spec) 
 		sem <- struct{}{}
 		go func(r int) {
 			defer wg.Done()
-			reports[r], errs[r] = runReplication(cfg, cache, p, spec, r)
+			reports[r], feds[r], errs[r] = runReplication(cfg, cache, p, spec, r)
 			<-sem
 		}(r)
 	}
 	wg.Wait()
 	for r, err := range errs {
 		if err != nil {
-			return metrics.Report{}, fmt.Errorf("replication %d: %w", r, err)
+			return metrics.Report{}, nil, fmt.Errorf("replication %d: %w", r, err)
 		}
 	}
-	return metrics.AverageReports(reports), nil
+	return metrics.AverageReports(reports), reduceFederationRecords(feds), nil
 }
 
 // RunCellDetailed is RunCell plus the per-job outcomes, for drill-down
@@ -618,8 +845,22 @@ func RunCellDetailed(cfg SuiteConfig, params Params, spec scheduler.Spec) (metri
 // the examples. Replications (if configured) run in parallel on
 // cfg.Workers goroutines with the same order-fixed reduce as Run.
 func RunCell(cfg SuiteConfig, params Params, spec scheduler.Spec) (metrics.Report, error) {
+	rep, _, err := RunCellFederated(cfg, params, spec)
+	return rep, err
+}
+
+// RunCellFederated is RunCell plus the cell's merged federation record:
+// per-cluster reports in federation order and the routing digest. The
+// record is nil for a non-federated (or degenerate-federation) cell, so
+// plain callers can use RunCell unchanged.
+func RunCellFederated(cfg SuiteConfig, params Params, spec scheduler.Spec) (metrics.Report, *obs.FederationRecord, error) {
 	if err := params.Validate(); err != nil {
-		return metrics.Report{}, err
+		return metrics.Report{}, nil, err
+	}
+	if cfg.Federation != nil {
+		if err := cfg.Federation.Validate(); err != nil {
+			return metrics.Report{}, nil, err
+		}
 	}
 	base := cfg.Trace
 	if base == nil {
@@ -631,7 +872,7 @@ func RunCell(cfg SuiteConfig, params Params, spec scheduler.Spec) (metrics.Repor
 		var err error
 		base, err = workload.Generate(synth, cfg.TraceSeed)
 		if err != nil {
-			return metrics.Report{}, err
+			return metrics.Report{}, nil, err
 		}
 	}
 	return runCell(cfg, newTraceCache(cfg, base), params, spec)

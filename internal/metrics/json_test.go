@@ -16,6 +16,7 @@ func TestReportJSONRoundTrip(t *testing.T) {
 		Accepted:         4321,
 		SLAFulfilled:     4000,
 		Killed:           13,
+		Finished:         4100,
 		Wait:             1.0 / 3.0, // non-terminating binary fraction
 		SLA:              80.0,
 		Reliability:      100.0 * 4000.0 / 4321.0,

@@ -156,6 +156,10 @@ type Report struct {
 	// under fault injection, the victims of node failures that were not
 	// successfully restarted. Each one drags reliability below 100.
 	Killed int
+	// Finished counts jobs with a completion time (including killed jobs):
+	// the denominator of the slowdown and response-time means, exposed so a
+	// federation merge can reweight those means exactly.
+	Finished int
 
 	// The four objectives. Wait is in seconds; the rest are percentages.
 	Wait          float64
@@ -204,6 +208,7 @@ func (c *Collector) Report() Report {
 			respSum += o.ResponseTime()
 		}
 	}
+	r.Finished = finished
 	if r.SLAFulfilled > 0 {
 		r.Wait = waitSum / float64(r.SLAFulfilled)
 	}
@@ -240,12 +245,13 @@ func AverageReports(reports []Report) Report {
 	}
 	n := float64(len(reports))
 	var out Report
-	var submitted, accepted, fulfilled, killed float64
+	var submitted, accepted, fulfilled, killed, finished float64
 	for _, r := range reports {
 		submitted += float64(r.Submitted)
 		accepted += float64(r.Accepted)
 		fulfilled += float64(r.SLAFulfilled)
 		killed += float64(r.Killed)
+		finished += float64(r.Finished)
 		out.Wait += r.Wait
 		out.SLA += r.SLA
 		out.Reliability += r.Reliability
@@ -260,6 +266,7 @@ func AverageReports(reports []Report) Report {
 	out.Accepted = int(accepted/n + 0.5)
 	out.SLAFulfilled = int(fulfilled/n + 0.5)
 	out.Killed = int(killed/n + 0.5)
+	out.Finished = int(finished/n + 0.5)
 	out.Wait /= n
 	out.SLA /= n
 	out.Reliability /= n

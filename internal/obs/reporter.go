@@ -37,6 +37,33 @@ type Record struct {
 	Resumed bool `json:"resumed,omitempty"`
 	// Report is the cell's full objective report.
 	Report metrics.Report `json:"report"`
+	// Federation carries the per-cluster breakdown and routing digest when
+	// the cell ran through the federation meta-broker with a federation
+	// that is not reducible to the plain single-cluster path. Nil otherwise
+	// — and omitted from the JSON — so a degenerate 1-cluster federation
+	// journals byte-identically to today's single-cluster run.
+	Federation *FederationRecord `json:"federation,omitempty"`
+}
+
+// FederationRecord is the journal-side view of one federated cell: the
+// per-cluster reports behind the cell's aggregate Report, plus a digest of
+// the broker's routing decisions (an FNV hash over the (job, cluster)
+// placement sequence; for replicated cells, a hash over the per-replication
+// digests in replication order). Byte equality of the digest across runs is
+// the routing-determinism oracle.
+type FederationRecord struct {
+	Clusters      []ClusterRecord `json:"clusters"`
+	RoutingDigest string          `json:"routing_digest"`
+}
+
+// ClusterRecord is one federation member's share of a cell: its identity,
+// how many jobs the broker routed to it (averaged over replications), and
+// its own objective report.
+type ClusterRecord struct {
+	Name   string         `json:"name"`
+	Nodes  int            `json:"nodes"`
+	Routed int            `json:"routed"`
+	Report metrics.Report `json:"report"`
 }
 
 // Suite describes one suite run as it starts.

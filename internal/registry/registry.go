@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/broker"
 	"repro/internal/economy"
 	"repro/internal/scheduler"
 )
@@ -73,6 +74,76 @@ func ListPolicies() []string {
 	lines := []string{fmt.Sprintf("%-12s %-21s %s", "Policy", "Models", "Primary parameter")}
 	for _, s := range scheduler.Specs() {
 		lines = append(lines, fmt.Sprintf("%-12s %-21s %s", s.Name, modelList(s.Models), s.Parameter))
+	}
+	return lines
+}
+
+// federationPreset describes one named federation for -list output.
+type federationPreset struct {
+	name, desc string
+	build      func() *broker.Federation
+}
+
+// federationPresets is the named-federation table. Every preset leaves
+// FaultIntensity empty so clusters inherit the run's -faults axis; the
+// experiment suite then derives per-cluster failure substreams by the
+// cluster-stride sub-seed convention.
+var federationPresets = []federationPreset{
+	{"single", "1 × 128 nodes, neutral — bit-identical to the plain single-cluster run", func() *broker.Federation {
+		return &broker.Federation{Clusters: []broker.ClusterSpec{
+			{Name: "only", Nodes: 128},
+		}}
+	}},
+	{"twin", "2 × 128 nodes, neutral — pure capacity doubling", func() *broker.Federation {
+		return &broker.Federation{Clusters: []broker.ClusterSpec{
+			{Name: "east", Nodes: 128},
+			{Name: "west", Nodes: 128},
+		}}
+	}},
+	{"hetero4", "4 heterogeneous clusters: 128 reference, 64 fast/premium, 96 slow/budget, 128 bulk", func() *broker.Federation {
+		return &broker.Federation{Clusters: []broker.ClusterSpec{
+			{Name: "ref", Nodes: 128},
+			{Name: "fast", Nodes: 64, Speed: 1.5, PriceFactor: 1.25},
+			{Name: "budget", Nodes: 96, Speed: 0.8, PriceFactor: 0.7},
+			{Name: "bulk", Nodes: 128, Speed: 1.1, PriceFactor: 0.9},
+		}}
+	}},
+	{"datacenter", "4 × 1024 nodes, mixed generations — the datacenter-scale stress configuration", func() *broker.Federation {
+		return &broker.Federation{Clusters: []broker.ClusterSpec{
+			{Name: "gen1", Nodes: 1024, Speed: 0.9, PriceFactor: 0.8},
+			{Name: "gen2", Nodes: 1024},
+			{Name: "gen3", Nodes: 1024, Speed: 1.2, PriceFactor: 1.15},
+			{Name: "gen4", Nodes: 1024, Speed: 1.4, PriceFactor: 1.3},
+		}}
+	}},
+}
+
+// ParseFederation resolves a named federation preset into a freshly built
+// Federation (callers may mutate their copy freely). The empty name means
+// no federation — the plain single-cluster path.
+func ParseFederation(s string) (*broker.Federation, error) {
+	if s == "" {
+		return nil, nil
+	}
+	for _, p := range federationPresets {
+		if p.name == s {
+			return p.build(), nil
+		}
+	}
+	names := make([]string, len(federationPresets))
+	for i, p := range federationPresets {
+		names[i] = p.name
+	}
+	return nil, fmt.Errorf("unknown federation %q (want %s)", s, strings.Join(names, ", "))
+}
+
+// ListFederations renders the federation preset table as aligned text
+// lines for -list style output.
+func ListFederations() []string {
+	lines := []string{fmt.Sprintf("%-12s %-7s %s", "Federation", "Nodes", "Clusters")}
+	for _, p := range federationPresets {
+		fed := p.build()
+		lines = append(lines, fmt.Sprintf("%-12s %-7d %s", p.name, fed.TotalNodes(), p.desc))
 	}
 	return lines
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/economy"
+	"repro/internal/faults"
 	"repro/internal/scheduler"
 )
 
@@ -94,6 +95,78 @@ func TestPolicySpecMatrix(t *testing.T) {
 	}
 	if _, err := PolicySpec("NoSuchPolicy", economy.Commodity); err == nil {
 		t.Error("PolicySpec accepted an unknown policy")
+	}
+}
+
+// Every federation preset must validate, build fresh copies per call, and
+// keep FaultIntensity empty so the -faults axis stays in charge; "single"
+// must be the degenerate spelling of the default 128-node machine.
+func TestParseFederationPresets(t *testing.T) {
+	for _, name := range []string{"single", "twin", "hetero4", "datacenter"} {
+		fed, err := ParseFederation(name)
+		if err != nil {
+			t.Fatalf("ParseFederation(%q): %v", name, err)
+		}
+		if err := fed.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+		for _, cs := range fed.Clusters {
+			if cs.FaultIntensity != "" {
+				t.Errorf("preset %q cluster %q pins intensity %q; presets must inherit the -faults axis",
+					name, cs.Name, cs.FaultIntensity)
+			}
+		}
+		again, err := ParseFederation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if &fed.Clusters[0] == &again.Clusters[0] {
+			t.Errorf("preset %q shares cluster storage across calls", name)
+		}
+	}
+
+	single, err := ParseFederation("single")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !single.EquivalentToSingle(128, faults.None) || !single.EquivalentToSingle(128, faults.High) {
+		t.Error("single preset is not equivalent to the plain 128-node run")
+	}
+	hetero, err := ParseFederation("hetero4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hetero.Clusters) != 4 || hetero.EquivalentToSingle(128, faults.None) {
+		t.Errorf("hetero4 = %+v, want 4 genuinely heterogeneous clusters", hetero)
+	}
+	dc, err := ParseFederation("datacenter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dc.Clusters) != 4 || dc.TotalNodes() != 4096 {
+		t.Errorf("datacenter totals %d nodes over %d clusters, want 4096 over 4", dc.TotalNodes(), len(dc.Clusters))
+	}
+
+	if fed, err := ParseFederation(""); err != nil || fed != nil {
+		t.Errorf("ParseFederation(\"\") = %v, %v; want nil, nil", fed, err)
+	}
+	if _, err := ParseFederation("nosuch"); err == nil || !strings.Contains(err.Error(), "hetero4") {
+		t.Errorf("unknown preset error %v does not list the valid names", err)
+	}
+}
+
+func TestListFederations(t *testing.T) {
+	lines := ListFederations()
+	if len(lines) != len(federationPresets)+1 {
+		t.Fatalf("ListFederations returned %d lines, want %d", len(lines), len(federationPresets)+1)
+	}
+	if !strings.HasPrefix(lines[0], "Federation") {
+		t.Errorf("header line: %q", lines[0])
+	}
+	for i, p := range federationPresets {
+		if !strings.HasPrefix(lines[i+1], p.name) {
+			t.Errorf("line %d %q does not lead with %s", i+1, lines[i+1], p.name)
+		}
 	}
 }
 

@@ -120,6 +120,20 @@ func (s Series) Label(i int) string {
 	return fmt.Sprintf("%d", i)
 }
 
+// QualifySeries returns a copy of the series with every policy name
+// suffixed "@qualifier" — how federated panels label one cluster's share
+// ("Libra@fast") so it cannot be mistaken for (or collide with) the
+// federation-wide series of the same policy. Points and labels are shared,
+// not copied: qualification is a relabeling, not a recomputation.
+func QualifySeries(series []Series, qualifier string) []Series {
+	out := make([]Series, len(series))
+	for i, s := range series {
+		out[i] = s
+		out[i].Policy = s.Policy + "@" + qualifier
+	}
+	return out
+}
+
 // Summary condenses a series the way Table II does.
 type Summary struct {
 	Policy                string

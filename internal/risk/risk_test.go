@@ -426,3 +426,26 @@ func TestIntegrateDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// QualifySeries relabels without recomputing: every policy gains the
+// @qualifier suffix while points and labels stay the same values, and the
+// input series are left untouched.
+func TestQualifySeries(t *testing.T) {
+	in := []Series{
+		{Policy: "Libra", Points: []Point{{Performance: 1, Volatility: 2}}, Labels: []string{"workload"}},
+		{Policy: "FCFS-BF", Points: []Point{{Performance: 3, Volatility: 4}}},
+	}
+	out := QualifySeries(in, "fast")
+	if len(out) != len(in) {
+		t.Fatalf("QualifySeries returned %d series, want %d", len(out), len(in))
+	}
+	if out[0].Policy != "Libra@fast" || out[1].Policy != "FCFS-BF@fast" {
+		t.Errorf("qualified names %q, %q", out[0].Policy, out[1].Policy)
+	}
+	if in[0].Policy != "Libra" || in[1].Policy != "FCFS-BF" {
+		t.Errorf("inputs mutated: %q, %q", in[0].Policy, in[1].Policy)
+	}
+	if out[0].Points[0] != in[0].Points[0] || out[0].Label(0) != "workload" {
+		t.Error("qualification changed points or labels")
+	}
+}

@@ -1,0 +1,182 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/faults"
+	"repro/internal/workload"
+)
+
+// Every Table V policy must implement AvailabilityEstimator: the federation
+// meta-broker ranks clusters with it, so a policy without an estimate would
+// silently degrade routing to submission-time ties.
+func TestEveryPolicyEstimatesAvailability(t *testing.T) {
+	for _, spec := range Specs() {
+		s, err := NewSession(spec.New, RunConfig{Nodes: 16, Model: spec.Models[0], BasePrice: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.policy.(AvailabilityEstimator); !ok {
+			t.Errorf("%s does not implement AvailabilityEstimator", spec.Name)
+		}
+		at, err := s.EarliestAvailable(16)
+		if err != nil {
+			t.Errorf("%s: EarliestAvailable: %v", spec.Name, err)
+		}
+		if at != 0 {
+			t.Errorf("%s: idle machine available at %v, want 0", spec.Name, at)
+		}
+		if _, err := s.EarliestAvailable(17); err == nil {
+			t.Errorf("%s: no error for width beyond the machine", spec.Name)
+		}
+		if _, err := s.EarliestAvailable(0); err == nil {
+			t.Errorf("%s: no error for zero width", spec.Name)
+		}
+	}
+}
+
+// An occupied space-shared machine estimates availability from its running
+// set; a time-shared machine squeezes share and is always available now.
+func TestEarliestAvailableUnderLoad(t *testing.T) {
+	jobs := sessionWorkload(t, 40, 3)
+	for _, spec := range []string{"FCFS-BF", "Libra"} {
+		sp, err := SpecByName(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSession(sp.New, RunConfig{Nodes: 4, Model: economy.Commodity, BasePrice: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		saturated := false
+		for _, j := range workload.CloneAll(jobs) {
+			if j.Procs > 4 {
+				continue
+			}
+			if _, err := s.SubmitQuoteless(j); err != nil {
+				t.Fatal(err)
+			}
+			at, err := s.EarliestAvailable(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsInf(at, 1) {
+				t.Fatalf("%s: +Inf availability without faults", spec)
+			}
+			if at > s.Now() {
+				saturated = true
+				if spec == "Libra" {
+					t.Fatalf("Libra: time-shared machine reported future availability %v at %v", at, s.Now())
+				}
+			}
+			if at < s.Now() {
+				t.Fatalf("%s: availability %v in the past (now %v)", spec, at, s.Now())
+			}
+		}
+		if spec == "FCFS-BF" && !saturated {
+			t.Fatalf("FCFS-BF: workload never saturated the 4-node machine; test is vacuous")
+		}
+	}
+}
+
+// A machine fault-shrunken below a job's width answers +Inf — the signal
+// that keeps the broker from routing a job to a cluster that can never fit
+// it until a repair.
+func TestEarliestAvailableDownShrunken(t *testing.T) {
+	for _, name := range []string{"FCFS-BF", "Libra"} {
+		sp, err := SpecByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSession(sp.New, RunConfig{Nodes: 2, Model: economy.Commodity, BasePrice: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fi := s.policy.(FaultInjectable)
+		fi.NodeDown(0)
+		at, err := s.EarliestAvailable(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsInf(at, 1) {
+			t.Errorf("%s: shrunken machine availability %v, want +Inf", name, at)
+		}
+		fi.NodeUp(0)
+		if at, _ := s.EarliestAvailable(2); math.IsInf(at, 1) {
+			t.Errorf("%s: repaired machine still +Inf", name)
+		}
+	}
+}
+
+// QuoteFor prices without submitting: probing a quote must not perturb the
+// simulation, and for an accepted job it must equal the quote Submit
+// returns (the Quoter contract, extended to every policy via the session's
+// base-charge fallback).
+func TestQuoteForMatchesSubmitQuote(t *testing.T) {
+	jobs := sessionWorkload(t, 60, 5)
+	for _, spec := range Specs() {
+		for _, m := range spec.Models {
+			probe, err := NewSession(spec.New, RunConfig{Nodes: 128, Model: m, BasePrice: economy.DefaultBasePrice})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, j := range workload.CloneAll(jobs) {
+				probe.AdvanceTo(j.Submit)
+				quoted := probe.QuoteFor(j)
+				d, err := probe.Submit(j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d.Admission == AdmissionAccepted && d.Quote != quoted {
+					t.Fatalf("%s/%s: pre-submission quote %v != decision quote %v for accepted job %d",
+						spec.Name, m, quoted, d.Quote, j.ID)
+				}
+			}
+		}
+	}
+}
+
+// AdvanceTo dispatches pending events without changing any outcome byte:
+// a session advanced to each submission instant before submitting must
+// finalize bit-identically to one that never advances explicitly, including
+// under fault injection (whose events AdvanceTo brings due).
+func TestAdvanceToPreservesOutcomes(t *testing.T) {
+	jobs := sessionWorkload(t, 120, 9)
+	horizon := faults.JobsHorizon(jobs)
+	f := faults.High.Config(3, horizon)
+	for _, spec := range Specs() {
+		cfg := RunConfig{Nodes: 32, Model: spec.Models[0], BasePrice: 1, Faults: &f}
+		plain, err := NewSession(spec.New, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		advanced, err := NewSession(spec.New, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range workload.CloneAll(jobs) {
+			if j.Procs > 32 {
+				continue
+			}
+			if _, err := plain.SubmitQuoteless(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, j := range workload.CloneAll(jobs) {
+			if j.Procs > 32 {
+				continue
+			}
+			advanced.AdvanceTo(j.Submit)
+			advanced.AdvanceTo(j.Submit - 1) // past times are a no-op
+			if _, err := advanced.SubmitQuoteless(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if a, b := plain.Finalize(), advanced.Finalize(); a != b {
+			t.Errorf("%s: AdvanceTo changed the final report:\nplain:    %+v\nadvanced: %+v", spec.Name, a, b)
+		}
+		advanced.AdvanceTo(horizon) // finalized session: no-op, must not panic
+	}
+}

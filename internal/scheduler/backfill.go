@@ -69,6 +69,12 @@ func (b *backfillPolicy) Name() string { return b.name }
 // Utilization reports the machine's processor utilization so far.
 func (b *backfillPolicy) Utilization() float64 { return b.cluster.Utilization() }
 
+// EarliestAvailable implements AvailabilityEstimator over the space-shared
+// machine's running set.
+func (b *backfillPolicy) EarliestAvailable(procs int) (float64, error) {
+	return spaceEarliest(b.cluster, procs)
+}
+
 func (b *backfillPolicy) Submit(j *workload.Job) {
 	b.queue = append(b.queue, j)
 	b.schedule()

@@ -35,6 +35,12 @@ func (c *conservative) Name() string { return "FCFS-CONS" }
 // Utilization reports the machine's processor utilization so far.
 func (c *conservative) Utilization() float64 { return c.cluster.Utilization() }
 
+// EarliestAvailable implements AvailabilityEstimator over the space-shared
+// machine's running set.
+func (c *conservative) EarliestAvailable(procs int) (float64, error) {
+	return spaceEarliest(c.cluster, procs)
+}
+
 func (c *conservative) Submit(j *workload.Job) {
 	c.queue = append(c.queue, j)
 	c.schedule()

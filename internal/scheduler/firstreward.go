@@ -81,6 +81,12 @@ func (f *firstReward) Name() string { return "FirstReward" }
 // Utilization reports the machine's processor utilization so far.
 func (f *firstReward) Utilization() float64 { return f.cluster.Utilization() }
 
+// EarliestAvailable implements AvailabilityEstimator over the space-shared
+// machine's running set.
+func (f *firstReward) EarliestAvailable(procs int) (float64, error) {
+	return spaceEarliest(f.cluster, procs)
+}
+
 // presentValue is PV_i = b_i / (1 + discount·RPT_i) with RPT in hours.
 func (f *firstReward) presentValue(j *workload.Job, rpt float64) float64 {
 	return j.Budget / (1 + f.discount*rpt/3600)

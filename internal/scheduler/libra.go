@@ -1,6 +1,9 @@
 package scheduler
 
 import (
+	"fmt"
+	"math"
+
 	"repro/internal/cluster"
 	"repro/internal/economy"
 	"repro/internal/sim"
@@ -99,6 +102,19 @@ func (l *libraPolicy) Name() string { return l.name }
 
 // Utilization reports the machine's useful-work utilization so far.
 func (l *libraPolicy) Utilization() float64 { return l.ts.Utilization() }
+
+// EarliestAvailable implements AvailabilityEstimator: a time-shared machine
+// squeezes share, so any width that fits the up nodes can start now; a
+// fault-shrunken machine that cannot host the width answers +Inf.
+func (l *libraPolicy) EarliestAvailable(procs int) (float64, error) {
+	if procs <= 0 || procs > l.ts.Nodes() {
+		return 0, fmt.Errorf("scheduler: earliest-available for %d procs on a %d-node machine", procs, l.ts.Nodes())
+	}
+	if l.ts.UpNodes() >= procs {
+		return float64(l.ctx.Engine.Now()), nil
+	}
+	return math.Inf(1), nil
+}
 
 func (l *libraPolicy) Drain() {} // no queue: every job is settled at submission
 

@@ -62,6 +62,12 @@ func (n *noAdmission) Name() string { return n.name }
 // Utilization reports the machine's processor utilization so far.
 func (n *noAdmission) Utilization() float64 { return n.cluster.Utilization() }
 
+// EarliestAvailable implements AvailabilityEstimator over the space-shared
+// machine's running set.
+func (n *noAdmission) EarliestAvailable(procs int) (float64, error) {
+	return spaceEarliest(n.cluster, procs)
+}
+
 func (n *noAdmission) Submit(j *workload.Job) {
 	// Accepted unconditionally, immediately — the whole point of the
 	// baseline.

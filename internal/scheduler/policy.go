@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/economy"
@@ -68,6 +69,31 @@ type Policy interface {
 // machine utilization; Run copies it into the report.
 type UtilizationReporter interface {
 	Utilization() float64
+}
+
+// AvailabilityEstimator is implemented by policies that can estimate, at
+// the current virtual instant and without side effects, the earliest time
+// at which procs processors could start a job. The estimate is optimistic
+// (user runtime estimates, no future failures) — the same information a
+// backfilling policy plans with. A +Inf answer means the machine, in its
+// current fault-shrunken state, can never fit the width until a repair.
+// The federation meta-broker ranks clusters with this estimate.
+type AvailabilityEstimator interface {
+	EarliestAvailable(procs int) (float64, error)
+}
+
+// spaceEarliest adapts the space-shared cluster's availability query to the
+// AvailabilityEstimator contract, translating the cluster's Infinity
+// sentinel into +Inf.
+func spaceEarliest(c *cluster.SpaceShared, procs int) (float64, error) {
+	t, err := c.EarliestAvailable(procs)
+	if err != nil {
+		return 0, err
+	}
+	if t >= sim.Infinity {
+		return math.Inf(1), nil
+	}
+	return float64(t), nil
 }
 
 // FaultInjectable is implemented by policies that can absorb node failure

@@ -34,6 +34,12 @@ func (q *qops) Name() string { return "QoPS" }
 // Utilization reports the machine's processor utilization so far.
 func (q *qops) Utilization() float64 { return q.cluster.Utilization() }
 
+// EarliestAvailable implements AvailabilityEstimator over the space-shared
+// machine's running set.
+func (q *qops) EarliestAvailable(procs int) (float64, error) {
+	return spaceEarliest(q.cluster, procs)
+}
+
 func (q *qops) Submit(j *workload.Job) {
 	if q.ctx.Model == economy.Commodity &&
 		economy.BaseCharge(j.Estimate, q.ctx.PriceAt(float64(q.ctx.Engine.Now()))) > j.Budget {

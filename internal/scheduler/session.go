@@ -194,6 +194,51 @@ func (s *Session) submit(j *workload.Job) (Admission, error) {
 	}
 }
 
+// SubmitQuoteless is the quote-free submission path for batch drivers (the
+// federation meta-broker's placement step): identical to Submit except that
+// no price is computed, which matters at trace scale — see submit.
+func (s *Session) SubmitQuoteless(j *workload.Job) (Admission, error) {
+	return s.submit(j)
+}
+
+// QuoteFor prices a job under the session's economic model at the current
+// virtual instant without submitting it: the bid itself under the bid-based
+// model, the policy's own pricing function when it quotes one (the Libra
+// family), and the flat base charge otherwise. This is the quote-shopping
+// probe the federation meta-broker uses for every policy, not just the
+// Quoter implementations.
+func (s *Session) QuoteFor(j *workload.Job) float64 { return s.quote(j) }
+
+// AdvanceTo dispatches every pending event up to and including virtual time
+// t without submitting anything — completions, lapses, and injected faults
+// come due exactly as they would on the next submission at t. The broker
+// advances candidate sessions to a job's submission instant before quoting
+// so quotes and availability reflect each cluster's state at that moment.
+// Advancing changes no outcome bytes: every event carries its own timestamp
+// and would be dispatched identically, later, by the next submission or by
+// Finalize. Times in the past (or a finalized session) are a no-op.
+func (s *Session) AdvanceTo(t float64) {
+	if s.finalized || t <= float64(s.engine.Now()) {
+		return
+	}
+	s.engine.RunUntil(sim.Time(t))
+}
+
+// EarliestAvailable estimates, at the current virtual instant, the earliest
+// time at which procs processors could start a job — the policy's own
+// optimistic plan (see AvailabilityEstimator), +Inf if the fault-shrunken
+// machine can never fit the width, and the current instant for policies
+// without an estimator.
+func (s *Session) EarliestAvailable(procs int) (float64, error) {
+	if procs <= 0 || procs > s.ctx.Nodes {
+		return 0, fmt.Errorf("scheduler: earliest-available for %d procs on a %d-node machine", procs, s.ctx.Nodes)
+	}
+	if ae, ok := s.policy.(AvailabilityEstimator); ok {
+		return ae.EarliestAvailable(procs)
+	}
+	return s.Now(), nil
+}
+
 // quote prices the job under the session's economic model at the current
 // instant: the bid itself under the bid-based model, otherwise the policy's
 // commodity charge (flat base charge unless the policy quotes its own
