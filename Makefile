@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot cover cover-check bench bench-capture bench-diff bench-gate doc-check fuzz fuzz-sim fuzz-broker results examples clean verify lint fmt-check serve-smoke
+.PHONY: all build vet test race race-hot cover cover-check bench bench-capture bench-diff bench-gate doc-check fuzz fuzz-sim fuzz-broker results examples clean verify lint fmt-check serve-smoke slo
 
 all: build vet test
 
@@ -57,14 +57,21 @@ cover:
 # must stay >= 90%; the cluster models must not regress below their
 # pre-fault-injection baseline; the federation meta-broker routes every
 # federated job and must stay >= 90%; the analyzer suite guards every
-# other invariant and must itself stay well-covered.
+# other invariant and must itself stay well-covered; the service plane
+# (worker API, control plane, placement ring, load generator) carries the
+# migration determinism contract and floors at 85%.
 cover-check:
-	@$(GO) test -cover ./internal/faults ./internal/cluster ./internal/broker ./internal/lint | awk ' \
+	@$(GO) test -cover ./internal/faults ./internal/cluster ./internal/broker ./internal/lint \
+		./internal/serve ./internal/serve/control ./internal/serve/ring ./internal/load | awk ' \
 		{ print } \
-		$$2 ~ /internal\/faults$$/  && $$5+0 < 90 { print "FAIL: internal/faults coverage " $$5 " below 90% floor"; bad=1 } \
-		$$2 ~ /internal\/cluster$$/ && $$5+0 < 95 { print "FAIL: internal/cluster coverage " $$5 " below 95% floor"; bad=1 } \
-		$$2 ~ /internal\/broker$$/  && $$5+0 < 90 { print "FAIL: internal/broker coverage " $$5 " below 90% floor"; bad=1 } \
-		$$2 ~ /internal\/lint$$/    && $$5+0 < 85 { print "FAIL: internal/lint coverage " $$5 " below 85% floor"; bad=1 } \
+		$$2 ~ /internal\/faults$$/        && $$5+0 < 90 { print "FAIL: internal/faults coverage " $$5 " below 90% floor"; bad=1 } \
+		$$2 ~ /internal\/cluster$$/       && $$5+0 < 95 { print "FAIL: internal/cluster coverage " $$5 " below 95% floor"; bad=1 } \
+		$$2 ~ /internal\/broker$$/        && $$5+0 < 90 { print "FAIL: internal/broker coverage " $$5 " below 90% floor"; bad=1 } \
+		$$2 ~ /internal\/lint$$/          && $$5+0 < 85 { print "FAIL: internal/lint coverage " $$5 " below 85% floor"; bad=1 } \
+		$$2 ~ /internal\/serve$$/         && $$5+0 < 85 { print "FAIL: internal/serve coverage " $$5 " below 85% floor"; bad=1 } \
+		$$2 ~ /internal\/serve\/control$$/ && $$5+0 < 85 { print "FAIL: internal/serve/control coverage " $$5 " below 85% floor"; bad=1 } \
+		$$2 ~ /internal\/serve\/ring$$/   && $$5+0 < 85 { print "FAIL: internal/serve/ring coverage " $$5 " below 85% floor"; bad=1 } \
+		$$2 ~ /internal\/load$$/          && $$5+0 < 85 { print "FAIL: internal/load coverage " $$5 " below 85% floor"; bad=1 } \
 		END { exit bad }'
 
 # One benchmark iteration per table/figure/ablation: fast sanity pass,
@@ -103,11 +110,24 @@ bench-gate:
 # Service-layer smoke: boot riskserved on a loopback port, replay the
 # scripted session, and compare the journal byte-for-byte against the
 # committed golden (cmd/riskserved/testdata/smoke_journal.golden) — plus
-# the serve package's determinism-bridge and concurrent-session tests,
-# all under the race detector. Regenerate the golden with
+# the multi-worker half: the real riskctl daemon fronting a four-worker
+# fleet, the same script routed through it, and the worker-mode
+# registration lifecycle; plus the serve and control packages'
+# determinism-bridge, migration, and concurrent-session tests, all under
+# the race detector. Regenerate the golden with
 # `go test ./cmd/riskserved -run TestServeSmoke -update`.
 serve-smoke:
-	$(GO) test -race -count=1 -run 'TestServe' ./cmd/riskserved ./internal/serve
+	$(GO) test -race -count=1 -run 'TestServe' ./cmd/riskserved ./cmd/riskctl ./internal/serve
+	$(GO) test -race -count=1 ./internal/serve/control
+
+# Informational SLO probe: riskload against a self-hosted four-worker
+# topology with a fixed seed, gated on p99 latency over all operations.
+# Latency SLOs are machine-dependent, so the gate ships permissive
+# (250ms p99 on a loopback fleet is an order of magnitude of headroom)
+# and SLO_GATE=off downgrades violations to warnings the same way
+# BENCH_GATE=off defuses the bench gate. See docs/performance.md.
+slo:
+	SLO_GATE=$(SLO_GATE) $(GO) run ./cmd/riskload -workers 4 -rate 50 -sessions 32 -jobs 10 -seed 1 -slo-p99 250ms
 
 fuzz:
 	$(GO) test ./internal/workload/ -run FuzzReadSWF -fuzz FuzzReadSWF -fuzztime 30s

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/control"
+)
+
+// post sends a JSON body and decodes the JSON response, failing on any
+// status >= 300.
+func post(t *testing.T, url string, body, out any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode >= 300 {
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("POST %s: decoding %q: %v", url, data, err)
+		}
+	}
+}
+
+// get fetches a body, failing on any status but 200.
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, err %v: %s", url, resp.StatusCode, err, data)
+	}
+	return data
+}
+
+// driveScripted replays the serve-smoke session script against base and
+// returns the finalized session's journal bytes.
+func driveScripted(t *testing.T, base string) []byte {
+	t.Helper()
+	var cr serve.CreateSessionResponse
+	post(t, base+"/v1/sessions", serve.CreateSessionRequest{Policy: "Libra+$", Model: "commodity", Nodes: 8}, &cr)
+	jobs := base + "/v1/sessions/" + cr.ID + "/jobs"
+	var d1, d2, d3 serve.SubmitJobResponse
+	post(t, jobs, serve.SubmitJobRequest{Submit: 0, Runtime: 100, Deadline: 200, Budget: 1000}, &d1)
+	post(t, jobs, serve.SubmitJobRequest{Submit: 5, Runtime: 100, Deadline: 200, Budget: 0.01}, &d2)
+	post(t, jobs, serve.SubmitJobRequest{Submit: 50, Runtime: 40, Procs: 2, Deadline: 300, Budget: 500}, &d3)
+	if d1.Admission != "accepted" || d2.Admission != "rejected" || d3.Admission != "accepted" {
+		t.Fatalf("admissions: %q, %q, %q", d1.Admission, d2.Admission, d3.Admission)
+	}
+	post(t, base+"/v1/sessions/"+cr.ID+"/finalize", struct{}{}, nil)
+	return get(t, base+"/v1/sessions/"+cr.ID+"/journal")
+}
+
+// TestServeFleetSmoke boots the real riskctl daemon on a loopback port,
+// registers a four-worker fleet over the admin API, replays the scripted
+// serve-smoke session through the plane, and demands the journal be
+// byte-identical to the same script driven against a standalone worker —
+// the topology must be invisible in every observable byte. It then
+// drains a worker through the admin API and checks the fleet keeps
+// serving. This is the multi-worker half of `make serve-smoke`.
+func TestServeFleetSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, "127.0.0.1:0", control.Config{}, 0, 5*time.Second, io.Discard, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatal(err)
+	//lint:allow wallclock — liveness timeout for a real daemon under test, not simulation time
+	case <-time.After(10 * time.Second):
+		t.Fatal("control plane did not come up")
+	}
+
+	workers := make([]*httptest.Server, 4)
+	for i := range workers {
+		workers[i] = httptest.NewServer(serve.New(serve.Config{}).Handler())
+		defer workers[i].Close()
+		post(t, base+"/control/v1/workers", control.RegisterWorkerRequest{
+			Name: []string{"w-1", "w-2", "w-3", "w-4"}[i], URL: workers[i].URL,
+		}, nil)
+	}
+	var topo control.TopologyResponse
+	if err := json.Unmarshal(get(t, base+"/control/v1/topology"), &topo); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Workers) != 4 {
+		t.Fatalf("topology has %d workers, want 4", len(topo.Workers))
+	}
+
+	// Transparency: plane-routed journal == standalone-worker journal.
+	fleetJournal := driveScripted(t, base)
+	standalone := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer standalone.Close()
+	soloJournal := driveScripted(t, standalone.URL)
+	if !bytes.Equal(fleetJournal, soloJournal) {
+		t.Errorf("fleet-routed journal diverged from standalone worker:\nfleet:\n%s\nsolo:\n%s", fleetJournal, soloJournal)
+	}
+
+	// Drain one worker over the admin API; the fleet must keep serving
+	// and the drained worker must leave placement.
+	req, err := http.NewRequest(http.MethodPost, base+"/control/v1/workers/w-2/drain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain: status %d", resp.StatusCode)
+	}
+	// The second session on each side carries the same allocated ID
+	// (s-2), so the journals are comparable byte for byte again.
+	if j, solo2 := driveScripted(t, base), driveScripted(t, standalone.URL); !bytes.Equal(j, solo2) {
+		t.Error("post-drain session diverged from standalone journal")
+	}
+	if err := json.Unmarshal(get(t, base+"/control/v1/topology"), &topo); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range topo.Workers {
+		if w.Name == "w-2" && !w.Draining {
+			t.Error("w-2 not marked draining in topology")
+		}
+	}
+
+	// Graceful drain of the control plane itself.
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	//lint:allow wallclock — liveness timeout for a real daemon under test, not simulation time
+	case <-time.After(10 * time.Second):
+		t.Fatal("control plane did not drain")
+	}
+}

@@ -1,0 +1,92 @@
+// Command riskload drives open-loop load at a service plane and gates
+// the measured latency distribution against SLOs.
+//
+//	riskload -workers 4 -rate 50 -sessions 64 -jobs 20 -slo-p99 250ms
+//	riskload -target http://localhost:8070 -rate 8 -sessions 16
+//
+// Without -target it self-hosts the topology: a control plane plus
+// -workers riskserved workers on loopback listeners inside this process,
+// so one command measures a whole fleet. The workload is fully seeded —
+// two runs against the same topology issue byte-identical request
+// streams — and the arrival schedule is open-loop, so an overloaded
+// service faces mounting concurrency rather than a self-throttling
+// client (see internal/load).
+//
+// The run's result is printed as JSON on stdout. When any -slo-* flag is
+// set and violated, riskload exits nonzero — unless SLO_GATE=off, which
+// downgrades violations to warnings the same way BENCH_GATE=off
+// downgrades the bench gate (latency SLOs are machine-dependent; the
+// error-rate clause has no such excuse, but the escape hatch covers it
+// too for symmetry).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/load"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "", "service-plane base URL; empty self-hosts a topology in-process")
+		workers  = flag.Int("workers", 4, "worker count for the self-hosted topology (ignored with -target)")
+		rate     = flag.Float64("rate", 8, "open-loop session arrival rate per second")
+		sessions = flag.Int("sessions", 16, "total sessions dispatched")
+		jobs     = flag.Int("jobs", 20, "job submissions per session")
+		seed     = flag.Int64("seed", 1, "workload synthesis seed; session k derives from seed+k")
+		policy   = flag.String("policy", "Libra", "Table V policy every session runs")
+		model    = flag.String("model", "commodity", "economic model (commodity or bid)")
+		sloP99   = flag.Duration("slo-p99", 0, "p99 latency SLO over all operations (0 = unchecked)")
+		sloP999  = flag.Duration("slo-p999", 0, "p999 latency SLO over all operations (0 = unchecked)")
+		maxErr   = flag.Float64("max-error-rate", 0, "error-rate budget (0 = any error violates)")
+	)
+	flag.Parse()
+	if err := run(*target, *workers, load.Config{
+		Rate: *rate, Sessions: *sessions, Jobs: *jobs, Seed: *seed,
+		Policy: *policy, Model: *model,
+	}, load.SLO{P99: *sloP99, P999: *sloP999, MaxErrorRate: *maxErr}); err != nil {
+		fmt.Fprintln(os.Stderr, "riskload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(target string, workers int, cfg load.Config, slo load.SLO) error {
+	if target == "" {
+		url, shutdown, err := load.SelfHost(workers)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "riskload: self-hosted %d-worker topology at %s\n", workers, url)
+		target = url
+	}
+	cfg.Target = target
+	res, err := load.Run(cfg)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+
+	violations := slo.Check(res)
+	if len(violations) == 0 {
+		all := res.Latency["all"]
+		fmt.Fprintf(os.Stderr, "riskload: SLO ok (p99 %.3fms, p999 %.3fms, %d/%d errors)\n",
+			all.P99Millis, all.P999Milli, res.Errors, res.Requests)
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "riskload: SLO violation:", v)
+	}
+	if os.Getenv("SLO_GATE") == "off" {
+		fmt.Fprintln(os.Stderr, "riskload: SLO_GATE=off, violations are informational")
+		return nil
+	}
+	return fmt.Errorf("%d SLO violation(s)", len(violations))
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/load"
+)
+
+// The CLI's run path self-hosts a topology, completes without SLO
+// violations under a generous gate, and fails under an impossible one —
+// with SLO_GATE=off downgrading that failure to a warning.
+func TestRiskloadGate(t *testing.T) {
+	cfg := load.Config{Rate: 200, Sessions: 4, Jobs: 5, Seed: 7}
+	if err := run("", 2, cfg, load.SLO{P99: time.Minute}); err != nil {
+		t.Fatalf("generous SLO: %v", err)
+	}
+	if err := run("", 2, cfg, load.SLO{P99: time.Nanosecond}); err == nil {
+		t.Fatal("impossible SLO passed")
+	}
+	t.Setenv("SLO_GATE", "off")
+	if err := run("", 2, cfg, load.SLO{P99: time.Nanosecond}); err != nil {
+		t.Fatalf("SLO_GATE=off still failed: %v", err)
+	}
+}
+
+// A dead target is a run error, not a pile of per-request noise with a
+// zero exit.
+func TestRiskloadDeadTarget(t *testing.T) {
+	cfg := load.Config{Rate: 1000, Sessions: 2, Jobs: 2}
+	if err := run("http://127.0.0.1:1", 0, cfg, load.SLO{}); err == nil {
+		t.Fatal("dead target produced no error")
+	}
+}

@@ -7,12 +7,14 @@ import (
 	"flag"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/serve/control"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -55,7 +57,7 @@ func TestServeSmoke(t *testing.T) {
 	ready := make(chan string, 1)
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(ctx, "127.0.0.1:0", serve.Config{}, 5*time.Second, io.Discard, ready)
+		errc <- run(ctx, "127.0.0.1:0", serve.Config{}, fleetConfig{}, 5*time.Second, io.Discard, ready)
 	}()
 	var base string
 	select {
@@ -129,6 +131,69 @@ func TestServeSmoke(t *testing.T) {
 	}
 }
 
+// In worker mode the daemon registers with the control plane on startup
+// and deregisters during graceful shutdown — the fleet sees it appear
+// and disappear without operator action.
+func TestServeWorkerModeRegistration(t *testing.T) {
+	plane := control.New(control.Config{})
+	cp := httptest.NewServer(plane.Handler())
+	defer cp.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	fleet := fleetConfig{ControlURL: cp.URL, Name: "w-test"}
+	go func() {
+		errc <- run(ctx, "127.0.0.1:0", serve.Config{}, fleet, 5*time.Second, io.Discard, ready)
+	}()
+	select {
+	case <-ready:
+	case err := <-errc:
+		t.Fatal(err)
+	//lint:allow wallclock — liveness timeout for a real daemon under test, not simulation time
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not come up")
+	}
+	topo := plane.Topology()
+	if len(topo.Workers) != 1 || topo.Workers[0].Name != "w-test" || !topo.Workers[0].Healthy {
+		t.Fatalf("after startup, topology = %+v, want healthy w-test", topo.Workers)
+	}
+
+	// A session created through the plane must land on the worker.
+	var cr serve.CreateSessionResponse
+	post(t, cp.URL+"/v1/sessions", serve.CreateSessionRequest{Policy: "FirstReward", Model: "bid"}, &cr)
+	if got := plane.Sessions(); got != 1 {
+		t.Fatalf("plane routes %d sessions, want 1", got)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	//lint:allow wallclock — liveness timeout for a real daemon under test, not simulation time
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not drain")
+	}
+	if topo := plane.Topology(); len(topo.Workers) != 0 {
+		t.Errorf("after shutdown, topology = %+v, want no workers", topo.Workers)
+	}
+}
+
+// A worker pointed at a dead control plane fails startup with a plain
+// error instead of serving unregistered.
+func TestServeWorkerModeBadControlPlane(t *testing.T) {
+	cp := httptest.NewServer(http.NotFoundHandler())
+	cp.Close()
+	fleet := fleetConfig{ControlURL: cp.URL, Name: "w-test"}
+	err := run(context.Background(), "127.0.0.1:0", serve.Config{}, fleet, time.Second, io.Discard, nil)
+	if err == nil {
+		t.Fatal("worker started against a dead control plane")
+	}
+}
+
 // The daemon refuses a second listener on the same port with a plain
 // error, not a hang.
 func TestServeAddrInUse(t *testing.T) {
@@ -137,7 +202,7 @@ func TestServeAddrInUse(t *testing.T) {
 	ready := make(chan string, 1)
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(ctx, "127.0.0.1:0", serve.Config{}, time.Second, io.Discard, ready)
+		errc <- run(ctx, "127.0.0.1:0", serve.Config{}, fleetConfig{}, time.Second, io.Discard, ready)
 	}()
 	var addr string
 	select {
@@ -148,7 +213,7 @@ func TestServeAddrInUse(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not come up")
 	}
-	if err := run(ctx, addr, serve.Config{}, time.Second, io.Discard, nil); err == nil {
+	if err := run(ctx, addr, serve.Config{}, fleetConfig{}, time.Second, io.Discard, nil); err == nil {
 		t.Fatal("second listener on the same address succeeded")
 	}
 	cancel()

@@ -166,13 +166,20 @@ func (t *refTimeShared) onLapse(tj *refTSJob) {
 	t.recompute()
 }
 
+// Utilization is a pure read, mirroring TimeShared: checkpointing at a
+// read would perturb the ulps of every job's remaining work.
 func (t *refTimeShared) Utilization() float64 {
-	t.advance()
 	now := float64(t.engine.Now())
 	if now <= 0 {
 		return 0
 	}
-	return t.busyIntegral / (float64(len(t.ratings)) * now)
+	util := t.busyIntegral
+	if dt := now - float64(t.lastUpdate); dt > 0 {
+		for _, tj := range t.order {
+			util += tj.rate * float64(tj.job.Procs) * dt
+		}
+	}
+	return util / (float64(len(t.ratings)) * now)
 }
 
 func (t *refTimeShared) kill(j *workload.Job) {

@@ -351,14 +351,26 @@ func (t *TimeShared) onLapse(tj *TSJob) {
 // Utilization returns the machine's useful-work utilization from time zero
 // to the current instant: executed processor-seconds over capacity.
 //
+// Utilization is a pure read: it extends the integral into a local instead
+// of calling advance, because checkpointing progress at a read splits the
+// rate·dt products at the read instant and perturbs the last ulp of every
+// job's remaining work. Reads (report snapshots) must not change a single
+// outcome byte — that is the determinism contract session migration
+// byte-checks against.
+//
 //lint:hot
 func (t *TimeShared) Utilization() float64 {
-	t.advance()
 	now := float64(t.engine.Now())
 	if now <= 0 {
 		return 0
 	}
-	return t.busyIntegral / (float64(len(t.nodes)) * now)
+	util := t.busyIntegral
+	if dt := now - float64(t.lastUpdate); dt > 0 {
+		for _, tj := range t.order {
+			util += tj.rate * float64(tj.Job.Procs) * dt
+		}
+	}
+	return util / (float64(len(t.nodes)) * now)
 }
 
 // Kill terminates a running job immediately, releasing its share/weight

@@ -1,0 +1,224 @@
+package load
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram p99 = %v, want 0", got)
+	}
+
+	// 1000 observations: 990 at ~1ms, 10 at ~100ms. p50 and p99 must sit
+	// in the 1ms bucket's range, p999 in the 100ms range.
+	for i := 0; i < 990; i++ {
+		h.Record(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(100 * time.Millisecond)
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("count = %d, want 1000", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Errorf("max = %v, want exactly 100ms", got)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < time.Millisecond || p50 > time.Duration(float64(time.Millisecond)*bucketGrowth) {
+		t.Errorf("p50 = %v, want within one bucket above 1ms", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < time.Millisecond || p99 > time.Duration(float64(time.Millisecond)*bucketGrowth) {
+		t.Errorf("p99 = %v, want within one bucket above 1ms", p99)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < 100*time.Millisecond || p999 > time.Duration(float64(100*time.Millisecond)*bucketGrowth) {
+		t.Errorf("p999 = %v, want within one bucket above 100ms", p999)
+	}
+}
+
+// The quantile estimate is conservative: never below the true quantile,
+// never more than one bucket growth factor above it.
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	durations := []time.Duration{
+		500 * time.Nanosecond, 3 * time.Microsecond, 40 * time.Microsecond,
+		700 * time.Microsecond, 2 * time.Millisecond, 9 * time.Millisecond,
+		77 * time.Millisecond, 400 * time.Millisecond, 3 * time.Second,
+	}
+	for _, d := range durations {
+		h.Record(d)
+	}
+	for _, d := range durations {
+		q := h.Quantile(1.0)
+		if q < h.Max() {
+			t.Fatalf("p100 = %v below max %v after recording %v", q, h.Max(), d)
+		}
+	}
+	// Bucket edges are monotone and grow by exactly the growth factor.
+	for i := 1; i < bucketCount-1; i++ {
+		lo, hi := bucketUpper(i-1), bucketUpper(i)
+		if hi <= lo {
+			t.Fatalf("bucket %d upper %v not above bucket %d upper %v", i, hi, i-1, lo)
+		}
+		ratio := float64(hi) / float64(lo)
+		if math.Abs(ratio-bucketGrowth) > 0.01*bucketGrowth {
+			t.Fatalf("bucket %d growth ratio %.4f, want ~%.2f", i, ratio, bucketGrowth)
+		}
+	}
+	// Extreme values stay in range: an observation beyond the bucket
+	// geometry lands in the catch-all, which answers with the exact max.
+	h.Record(0)
+	h.Record(time.Hour)
+	if got := h.Quantile(1.0); got != time.Hour {
+		t.Errorf("catch-all bucket p100 = %v, want the exact 1h max", got)
+	}
+}
+
+func TestSLOCheck(t *testing.T) {
+	res := Result{
+		Requests: 1000, Errors: 0,
+		Latency: map[string]OpStats{"all": {Count: 1000, P99Millis: 12, P999Milli: 80}},
+	}
+	if v := (SLO{P99: 50 * time.Millisecond, P999: 200 * time.Millisecond}).Check(res); len(v) != 0 {
+		t.Errorf("healthy result violated SLO: %v", v)
+	}
+	if v := (SLO{P99: 10 * time.Millisecond}).Check(res); len(v) != 1 {
+		t.Errorf("p99 breach not caught: %v", v)
+	}
+	if v := (SLO{P999: 50 * time.Millisecond}).Check(res); len(v) != 1 {
+		t.Errorf("p999 breach not caught: %v", v)
+	}
+	res.Errors = 5
+	if v := (SLO{}).Check(res); len(v) != 1 {
+		t.Errorf("default SLO tolerates errors: %v", v)
+	}
+	if v := (SLO{MaxErrorRate: 0.01}).Check(res); len(v) != 0 {
+		t.Errorf("error rate under budget still violated: %v", v)
+	}
+}
+
+// An end-to-end run against a self-hosted 2-worker topology: every
+// request must succeed, the request count must be exactly determined by
+// the config, and the result must serialize with all operation classes
+// populated.
+func TestRunAgainstSelfHostedTopology(t *testing.T) {
+	url, shutdown, err := SelfHost(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	cfg := Config{Target: url, Rate: 200, Sessions: 6, Jobs: 8, Seed: 3}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("load run had %d errors (of %d requests)", res.Errors, res.Requests)
+	}
+	// create + jobs + finalize + delete per session.
+	want := int64(cfg.Sessions * (cfg.Jobs + 3))
+	if res.Requests != want {
+		t.Errorf("requests = %d, want %d", res.Requests, want)
+	}
+	for _, op := range []string{"create", "submit", "finalize", "all"} {
+		st, ok := res.Latency[op]
+		if !ok || st.Count == 0 {
+			t.Errorf("operation class %q missing or empty: %+v", op, st)
+		}
+		if st.P50Millis <= 0 || st.MaxMillis < st.P50Millis {
+			t.Errorf("operation class %q has nonsensical latencies: %+v", op, st)
+		}
+	}
+	if res.Latency["submit"].Count != int64(cfg.Sessions*cfg.Jobs) {
+		t.Errorf("submit count = %d, want %d", res.Latency["submit"].Count, cfg.Sessions*cfg.Jobs)
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Errorf("result does not serialize: %v", err)
+	}
+	// A generous SLO holds; an absurd one is violated — the gate wiring
+	// has teeth.
+	if v := (SLO{P99: time.Minute}).Check(res); len(v) != 0 {
+		t.Errorf("generous SLO violated: %v", v)
+	}
+	if v := (SLO{P99: time.Nanosecond}).Check(res); len(v) == 0 {
+		t.Error("absurd SLO not violated")
+	}
+}
+
+func TestSelfHostValidation(t *testing.T) {
+	if _, _, err := SelfHost(0); err == nil {
+		t.Error("SelfHost(0) succeeded")
+	}
+}
+
+// Error paths: a dead target counts every request as an error without
+// failing the run; a live server answering wrong statuses does too; the
+// zero config fills in every default.
+func TestRunErrorPaths(t *testing.T) {
+	res, err := Run(Config{Target: "http://127.0.0.1:1", Rate: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != 16 || res.JobsPerSession != 20 {
+		t.Errorf("defaults not applied: %+v", res)
+	}
+	if res.Requests == 0 || res.Errors != res.Requests {
+		t.Errorf("dead target: %d errors of %d requests, want all", res.Errors, res.Requests)
+	}
+
+	// A teapot refuses every operation with an unexpected status: the
+	// session is abandoned at create, one error per session.
+	teapot := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	defer teapot.Close()
+	res, err = Run(Config{Target: teapot.URL, Rate: 500, Sessions: 3, Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 3 || res.Errors != 3 {
+		t.Errorf("teapot target: %d errors of %d requests, want 3 of 3", res.Errors, res.Requests)
+	}
+
+	// Create succeeds but the job stream fails: the session abandons
+	// mid-stream, so exactly two requests land per session.
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte(`{"id":"x"}`))
+	})
+	mux.HandleFunc("POST /v1/sessions/x/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	})
+	broken := httptest.NewServer(mux)
+	defer broken.Close()
+	res, err = Run(Config{Target: broken.URL, Rate: 500, Sessions: 2, Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 4 || res.Errors != 2 {
+		t.Errorf("mid-stream failure: %d errors of %d requests, want 2 of 4", res.Errors, res.Requests)
+	}
+}
+
+// Record clamps negatives and Quantile clamps a vanishing q to the first
+// observation.
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)
+	h.Record(5 * time.Millisecond)
+	if got := h.Quantile(1e-12); got != time.Microsecond {
+		t.Errorf("vanishing q = %v, want the first bucket's bound", got)
+	}
+	if h.Count() != 2 {
+		t.Errorf("count = %d, want 2", h.Count())
+	}
+}

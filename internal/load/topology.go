@@ -1,0 +1,56 @@
+package load
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"repro/internal/serve"
+	"repro/internal/serve/control"
+)
+
+// SelfHost boots a complete service plane inside this process — a control
+// plane and n workers on loopback listeners — registers the workers, and
+// returns the plane's base URL plus a shutdown function. It is how
+// riskload (and the CI SLO job) drive a multi-worker topology without
+// orchestrating processes: the topology is real HTTP end to end, just
+// co-resident.
+func SelfHost(n int) (string, func(), error) {
+	if n <= 0 {
+		return "", nil, fmt.Errorf("load: self-hosted topology needs at least one worker, got %d", n)
+	}
+	var servers []*http.Server
+	shutdown := func() {
+		for _, s := range servers {
+			s.Close() // best-effort teardown of a loopback listener
+		}
+	}
+	listen := func(h http.Handler) (string, error) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		srv := &http.Server{Handler: h}
+		servers = append(servers, srv)
+		go srv.Serve(l) // Serve always returns a non-nil error on shutdown; teardown is the shutdown func's job
+		return "http://" + l.Addr().String(), nil
+	}
+
+	plane := control.New(control.Config{})
+	planeURL, err := listen(plane.Handler())
+	if err != nil {
+		return "", nil, err
+	}
+	for i := 1; i <= n; i++ {
+		workerURL, err := listen(serve.New(serve.Config{}).Handler())
+		if err != nil {
+			shutdown()
+			return "", nil, err
+		}
+		if err := plane.Register(fmt.Sprintf("w-%d", i), workerURL); err != nil {
+			shutdown()
+			return "", nil, err
+		}
+	}
+	return planeURL, shutdown, nil
+}

@@ -43,6 +43,7 @@ type SessionDecision struct {
 	Deadline    float64 `json:"deadline"`
 	Budget      float64 `json:"budget"`
 	PenaltyRate float64 `json:"penalty_rate,omitempty"`
+	HighUrgency bool    `json:"high_urgency,omitempty"`
 	Admission   string  `json:"admission"`
 	Quote       float64 `json:"quote"`
 }

@@ -17,6 +17,11 @@ import (
 // horizon because an online session cannot know its workload's extent up
 // front.
 type CreateSessionRequest struct {
+	// ID pins the session's identifier instead of letting the worker
+	// allocate one. Only the control plane sets it — IDs must be unique
+	// across the whole service plane, so standalone clients leave it empty
+	// and take the worker-allocated ID from the response.
+	ID             string  `json:"id,omitempty"`
 	Policy         string  `json:"policy"`
 	Model          string  `json:"model"`
 	Nodes          int     `json:"nodes,omitempty"`
@@ -75,6 +80,26 @@ type ReportResponse struct {
 	Report    metrics.Report     `json:"report"`
 	Risk      map[string]float64 `json:"risk"`
 }
+
+// HealthResponse is the /healthz body: liveness plus the capacity figures
+// the control plane's prober reads (live sessions, the session cap, and
+// whether the worker is draining).
+type HealthResponse struct {
+	Status      string `json:"status"`
+	Sessions    int    `json:"sessions"`
+	MaxSessions int    `json:"max_sessions"`
+	Draining    bool   `json:"draining,omitempty"`
+}
+
+// ImportSessionResponse acknowledges a replayed session under the ID its
+// journal header carried.
+type ImportSessionResponse struct {
+	ID string `json:"id"`
+}
+
+// maxJournalBytes bounds an imported journal body. A session journal is a
+// header plus one short line per submission; 64 MiB is ~100k decisions.
+const maxJournalBytes = 64 << 20
 
 // errorResponse is the JSON error envelope every non-2xx response carries.
 type errorResponse struct {

@@ -1,0 +1,32 @@
+// Package control is the control plane of the service: a session-level
+// router in front of a fleet of riskserved workers (the data plane).
+//
+// Clients speak the same /v1 session API to the control plane that they
+// would speak to a standalone worker. The plane assigns session IDs,
+// places each session on a worker via consistent hashing (see
+// internal/serve/ring), and forwards session-scoped requests to the
+// session's current owner. Worker membership is dynamic: workers register
+// and deregister over /control/v1, a drain moves every session off a
+// worker before it stops, and a health prober declares unresponsive
+// workers dead.
+//
+// Sessions move between workers as journal bytes. For planned moves
+// (drain, rebalance after a join) the source worker releases the session —
+// exporting its journal and forgetting it — and the destination rebuilds
+// it by deterministic replay (serve.ImportSession), which refuses any
+// journal whose replay is not bit-identical. For crashes there is no
+// source to ask, so the plane maintains a shadow journal per session,
+// reconstructed from the request/response pairs it forwarded; recovery
+// imports the shadow onto a new owner. Replay determinism makes the two
+// paths equivalent: either way the rebuilt session is byte-for-byte the
+// session the client was talking to, so a migration can never change an
+// observable byte.
+//
+// Lock discipline: plane.mu guards the worker registry, the ring, and the
+// route table, and is never held across worker I/O. Each route (one per
+// session) has its own mutex serializing that session's forwarded
+// requests and shadow appends; it is intentionally held across the
+// forward round-trip — that per-session serialization is what keeps the
+// shadow journal in request order. A route's mutex may be acquired before
+// plane.mu, never after, and never two routes at once.
+package control

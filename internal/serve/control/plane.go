@@ -1,0 +1,474 @@
+package control
+
+import (
+	"bytes"
+	"context"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve/ring"
+)
+
+// Config parameterizes the control plane.
+type Config struct {
+	// Replicas is the consistent-hash ring's virtual-node count per worker
+	// (default 128).
+	Replicas int
+	// Client issues all worker requests (default: 10s overall timeout).
+	Client *http.Client
+	// ProbeFailures is how many consecutive failed health probes declare a
+	// worker dead (default 2).
+	ProbeFailures int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 128
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if c.ProbeFailures <= 0 {
+		c.ProbeFailures = 2
+	}
+	return c
+}
+
+// worker is the plane's record of one data-plane process. All fields are
+// guarded by the plane's mutex.
+type worker struct {
+	name     string
+	url      string
+	healthy  bool
+	draining bool
+	// failures counts consecutive failed health probes.
+	failures int
+}
+
+// route is one session's placement: its current owner and the shadow
+// journal the plane reconstructs from forwarded request/response pairs.
+// mu serializes the session's forwarded requests (held across the worker
+// round-trip on purpose — that is what keeps the shadow in request
+// order); see the package comment for the lock discipline.
+type route struct {
+	id string
+
+	mu        sync.Mutex
+	worker    string
+	shadow    *obs.SessionJournal
+	finalized bool
+}
+
+// Plane is the control plane: the worker registry, the consistent-hash
+// ring, and the session route table.
+type Plane struct {
+	cfg  Config
+	vars *counters
+	mux  *http.ServeMux
+
+	nextID atomic.Int64
+
+	mu      sync.Mutex
+	ring    *ring.Ring
+	workers map[string]*worker
+	routes  map[string]*route
+}
+
+// New builds a Plane with its routes mounted.
+func New(cfg Config) *Plane {
+	cfg = cfg.withDefaults()
+	p := &Plane{
+		cfg:     cfg,
+		vars:    publishVars(),
+		mux:     http.NewServeMux(),
+		ring:    ring.New(cfg.Replicas),
+		workers: make(map[string]*worker),
+		routes:  make(map[string]*route),
+	}
+	p.mux.HandleFunc("GET /healthz", p.handleHealthz)
+	p.mux.Handle("GET /debug/vars", expvar.Handler())
+	p.mux.HandleFunc("POST /control/v1/workers", p.handleRegister)
+	p.mux.HandleFunc("DELETE /control/v1/workers/{name}", p.handleDeregister)
+	p.mux.HandleFunc("POST /control/v1/workers/{name}/drain", p.handleDrainWorker)
+	p.mux.HandleFunc("GET /control/v1/topology", p.handleTopology)
+	p.mux.HandleFunc("POST /v1/sessions", p.handleCreate)
+	p.mux.HandleFunc("POST /v1/sessions/{id}/jobs", p.handleSubmit)
+	p.mux.HandleFunc("GET /v1/sessions/{id}/report", p.handleProxy)
+	p.mux.HandleFunc("GET /v1/sessions/{id}/journal", p.handleProxy)
+	p.mux.HandleFunc("POST /v1/sessions/{id}/finalize", p.handleFinalize)
+	p.mux.HandleFunc("DELETE /v1/sessions/{id}", p.handleDelete)
+	return p
+}
+
+// Handler returns the plane's root handler.
+func (p *Plane) Handler() http.Handler { return p.mux }
+
+// Sessions returns the number of routed sessions.
+func (p *Plane) Sessions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.routes)
+}
+
+// do issues one worker request and reads the full response body.
+func (p *Plane) do(method, url string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, out, nil
+}
+
+// Register adds (or revives) a worker and rebalances: every session whose
+// ring owner changed moves to its new owner. The consistent-hash ring
+// keeps that movement minimal — only sessions the joiner now owns move.
+func (p *Plane) Register(name, url string) error {
+	if name == "" || url == "" {
+		return fmt.Errorf("control: worker registration needs a name and a URL")
+	}
+	p.mu.Lock()
+	if w, ok := p.workers[name]; ok {
+		// Re-registration revives a worker the prober declared dead (or
+		// updates a moved URL). A restarted worker comes back empty; any
+		// sessions still routed to it are rebuilt from shadows by the
+		// rebalance below or by per-request recovery.
+		w.url = url
+		w.healthy = true
+		w.draining = false
+		w.failures = 0
+		if !p.ring.Has(name) {
+			if err := p.ring.Add(name); err != nil {
+				p.mu.Unlock()
+				return err
+			}
+		}
+	} else {
+		if err := p.ring.Add(name); err != nil {
+			p.mu.Unlock()
+			return err
+		}
+		p.workers[name] = &worker{name: name, url: url, healthy: true}
+	}
+	p.mu.Unlock()
+	p.vars.workersRegistered.Add(1)
+	p.rebalance()
+	return nil
+}
+
+// Deregister removes a worker after moving every session off it.
+func (p *Plane) Deregister(name string) error {
+	p.mu.Lock()
+	if _, ok := p.workers[name]; !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("control: unknown worker %q", name)
+	}
+	if p.ring.Has(name) {
+		p.ring.Remove(name) //lint:allow errignore — Has was just checked under the same lock
+	}
+	p.mu.Unlock()
+	p.evacuate(name)
+	p.mu.Lock()
+	delete(p.workers, name)
+	p.mu.Unlock()
+	return nil
+}
+
+// DrainWorker takes a worker out of the ring, tells it to refuse new
+// sessions, and moves its sessions to the remaining workers. The worker
+// stays registered (and draining) until deregistered.
+func (p *Plane) DrainWorker(name string) error {
+	p.mu.Lock()
+	w, ok := p.workers[name]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("control: unknown worker %q", name)
+	}
+	w.draining = true
+	if p.ring.Has(name) {
+		p.ring.Remove(name) //lint:allow errignore — Has was just checked under the same lock
+	}
+	url := w.url
+	p.mu.Unlock()
+	// Best-effort: a worker that does not answer is handled by the release
+	// fallback inside moveRoute.
+	p.do(http.MethodPost, url+"/worker/v1/drain", nil)
+	p.evacuate(name)
+	return nil
+}
+
+// snapshotRoutes returns the current route set without holding the
+// plane's lock beyond the copy.
+func (p *Plane) snapshotRoutes() []*route {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]string, 0, len(p.routes))
+	for id := range p.routes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	routes := make([]*route, 0, len(ids))
+	for _, id := range ids {
+		routes = append(routes, p.routes[id])
+	}
+	return routes
+}
+
+// ownerFor answers which worker the ring assigns a session to, or "" when
+// no worker is available.
+func (p *Plane) ownerFor(id string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	owner, ok := p.ring.Owner(id)
+	if !ok {
+		return ""
+	}
+	return owner
+}
+
+// workerURL resolves a worker name to its base URL.
+func (p *Plane) workerURL(name string) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w, ok := p.workers[name]
+	if !ok {
+		return "", false
+	}
+	return w.url, true
+}
+
+// markDead records a worker as unhealthy and pulls it from the ring so no
+// new placements land on it.
+func (p *Plane) markDead(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if w, ok := p.workers[name]; ok {
+		w.healthy = false
+	}
+	if p.ring.Has(name) {
+		p.ring.Remove(name) //lint:allow errignore — Has was just checked under the same lock
+	}
+}
+
+// rebalance moves every session whose ring owner differs from its current
+// worker. Called after membership changes.
+func (p *Plane) rebalance() {
+	for _, r := range p.snapshotRoutes() {
+		r.mu.Lock()
+		if want := p.ownerFor(r.id); want != "" && want != r.worker {
+			p.moveRoute(r, want) // a failed move leaves the route where it was
+		}
+		r.mu.Unlock()
+	}
+}
+
+// evacuate moves every session off the named worker.
+func (p *Plane) evacuate(name string) {
+	for _, r := range p.snapshotRoutes() {
+		r.mu.Lock()
+		if r.worker == name {
+			if dst := p.ownerFor(r.id); dst != "" {
+				p.moveRoute(r, dst)
+			}
+			// No destination: the fleet is empty. The route keeps pointing
+			// at the gone worker; per-request recovery re-places it once a
+			// worker returns.
+		}
+		r.mu.Unlock()
+	}
+}
+
+// moveRoute migrates one session to dst, caller holding r.mu. The source
+// is asked to release (export + forget) the session; if it cannot answer,
+// the plane's shadow journal stands in — replay determinism makes the two
+// byte-equivalent. The destination rebuilds the session by replay and
+// refuses anything that is not bit-identical.
+func (p *Plane) moveRoute(r *route, dst string) error {
+	journal := r.shadow.Bytes()
+	if srcURL, ok := p.workerURL(r.worker); ok {
+		if st, body, err := p.do(http.MethodPost, srcURL+"/worker/v1/sessions/"+r.id+"/release", nil); err == nil && st == http.StatusOK {
+			journal = body
+		}
+	}
+	dstURL, ok := p.workerURL(dst)
+	if !ok {
+		return fmt.Errorf("control: destination worker %q unknown", dst)
+	}
+	st, body, err := p.do(http.MethodPost, dstURL+"/worker/v1/sessions/import", journal)
+	if err != nil {
+		return err
+	}
+	if st != http.StatusCreated {
+		return fmt.Errorf("control: importing session %s on %s: %s", r.id, dst, body)
+	}
+	r.worker = dst
+	p.vars.migrations.Add(1)
+	return nil
+}
+
+// recoverRoute re-places one session after its worker stopped answering:
+// the worker is declared dead and the shadow journal is imported onto the
+// session's new ring owner. Caller holds r.mu.
+func (p *Plane) recoverRoute(r *route) error {
+	p.markDead(r.worker)
+	dst := p.ownerFor(r.id)
+	if dst == "" {
+		return fmt.Errorf("control: no healthy workers to recover session %s onto", r.id)
+	}
+	dstURL, _ := p.workerURL(dst)
+	st, body, err := p.do(http.MethodPost, dstURL+"/worker/v1/sessions/import", r.shadow.Bytes())
+	if err != nil {
+		return fmt.Errorf("control: recovering session %s onto %s: %w", r.id, dst, err)
+	}
+	if st != http.StatusCreated {
+		return fmt.Errorf("control: recovering session %s onto %s: %s", r.id, dst, body)
+	}
+	r.worker = dst
+	p.vars.recoveries.Add(1)
+	return nil
+}
+
+// forward proxies one session-scoped request to the session's current
+// worker, recovering the session onto a new owner (and retrying once) if
+// the worker does not answer. Caller holds r.mu.
+func (p *Plane) forward(r *route, method, path string, body []byte) (int, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		if url, ok := p.workerURL(r.worker); ok {
+			st, out, err := p.do(method, url+path, body)
+			if err == nil {
+				return st, out, nil
+			}
+		}
+		if attempt >= 1 {
+			return 0, nil, fmt.Errorf("control: session %s unreachable after recovery", r.id)
+		}
+		if err := p.recoverRoute(r); err != nil {
+			return 0, nil, err
+		}
+	}
+}
+
+// Topology returns the plane's fleet view.
+func (p *Plane) Topology() TopologyResponse {
+	counts := make(map[string]int)
+	for _, r := range p.snapshotRoutes() {
+		r.mu.Lock()
+		counts[r.worker]++
+		r.mu.Unlock()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.workers))
+	for name := range p.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	top := TopologyResponse{Sessions: len(p.routes)}
+	for _, name := range names {
+		w := p.workers[name]
+		top.Workers = append(top.Workers, WorkerStatus{
+			Name: w.name, URL: w.url, Healthy: w.healthy, Draining: w.draining,
+			Sessions: counts[w.name],
+		})
+	}
+	return top
+}
+
+// ProbeOnce polls every worker's health endpoint once. A worker failing
+// its cfg.ProbeFailures-th consecutive probe is declared dead: it leaves
+// the ring and every session routed to it is rebuilt from its shadow
+// journal on a new owner. A dead worker answering again is NOT revived
+// automatically — an empty restarted process answers probes too; revival
+// is re-registration, which rebalances deliberately. Returns the names of
+// workers declared dead by this probe, sorted.
+func (p *Plane) ProbeOnce() []string {
+	type target struct{ name, url string }
+	p.mu.Lock()
+	names := make([]string, 0, len(p.workers))
+	for name := range p.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	targets := make([]target, 0, len(names))
+	for _, name := range names {
+		targets = append(targets, target{name, p.workers[name].url})
+	}
+	p.mu.Unlock()
+
+	var dead []string
+	for _, t := range targets {
+		st, _, err := p.do(http.MethodGet, t.url+"/healthz", nil)
+		ok := err == nil && st == http.StatusOK
+		p.mu.Lock()
+		w, known := p.workers[t.name]
+		if !known {
+			p.mu.Unlock()
+			continue
+		}
+		if ok {
+			w.failures = 0
+		} else {
+			w.failures++
+			if w.failures >= p.cfg.ProbeFailures && w.healthy {
+				w.healthy = false
+				if p.ring.Has(t.name) {
+					p.ring.Remove(t.name) //lint:allow errignore — Has was just checked under the same lock
+				}
+				dead = append(dead, t.name)
+			}
+		}
+		p.mu.Unlock()
+	}
+	for _, name := range dead {
+		p.recoverWorker(name)
+	}
+	return dead
+}
+
+// recoverWorker rebuilds every session routed to a dead worker from its
+// shadow journal.
+func (p *Plane) recoverWorker(name string) {
+	for _, r := range p.snapshotRoutes() {
+		r.mu.Lock()
+		if r.worker == name {
+			p.recoverRoute(r) // a failed recovery retries on the next forward
+		}
+		r.mu.Unlock()
+	}
+}
+
+// RunProber polls worker health every interval until ctx is cancelled.
+func (p *Plane) RunProber(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval) //lint:allow wallclock — health probing is operator time, never simulation time
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.ProbeOnce()
+		}
+	}
+}

@@ -1,0 +1,430 @@
+package control
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/qos"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// do drives the plane's handler in-process.
+func do(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func mustDo(t *testing.T, h http.Handler, method, path string, body any, wantStatus int, out any) {
+	t.Helper()
+	w := do(t, h, method, path, body)
+	if w.Code != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d: %s", method, path, w.Code, wantStatus, w.Body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, path, err)
+		}
+	}
+}
+
+// newWorker starts one data-plane worker over real HTTP.
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newFleet builds a plane with n registered workers. The workers are
+// returned in registration order (named w-1..w-n).
+func newFleet(t *testing.T, n int) (*Plane, []*httptest.Server) {
+	t.Helper()
+	p := New(Config{})
+	workers := make([]*httptest.Server, n)
+	for i := range workers {
+		workers[i] = newWorker(t)
+		mustDo(t, p.Handler(), http.MethodPost, "/control/v1/workers",
+			RegisterWorkerRequest{Name: fmt.Sprintf("w-%d", i+1), URL: workers[i].URL},
+			http.StatusCreated, nil)
+	}
+	return p, workers
+}
+
+func testTrace(t *testing.T, jobs int, seed int64) []*workload.Job {
+	t.Helper()
+	synth := workload.DefaultSynthConfig()
+	synth.Jobs = jobs
+	trace, err := workload.Generate(synth, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qos.Synthesize(trace, qos.DefaultConfig(seed+1)); err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+func submitReq(j *workload.Job) serve.SubmitJobRequest {
+	return serve.SubmitJobRequest{
+		ID: j.ID, Submit: j.Submit, Runtime: j.Runtime, Estimate: j.Estimate,
+		Procs: j.Procs, Deadline: j.Deadline, Budget: j.Budget,
+		PenaltyRate: j.PenaltyRate, HighUrgency: j.HighUrgency,
+	}
+}
+
+// createSession places one session through the plane and returns its ID.
+func createSession(t *testing.T, p *Plane, create serve.CreateSessionRequest) string {
+	t.Helper()
+	var cr serve.CreateSessionResponse
+	mustDo(t, p.Handler(), http.MethodPost, "/v1/sessions", create, http.StatusCreated, &cr)
+	if cr.ID == "" {
+		t.Fatal("create returned no session ID")
+	}
+	return cr.ID
+}
+
+// finishSession finalizes and fetches the journal, returning both bodies.
+func finishSession(t *testing.T, h http.Handler, id string) (report, journal []byte) {
+	t.Helper()
+	fin := do(t, h, http.MethodPost, "/v1/sessions/"+id+"/finalize", nil)
+	if fin.Code != http.StatusOK {
+		t.Fatalf("finalize %s: status %d: %s", id, fin.Code, fin.Body)
+	}
+	jw := do(t, h, http.MethodGet, "/v1/sessions/"+id+"/journal", nil)
+	if jw.Code != http.StatusOK {
+		t.Fatalf("journal %s: status %d: %s", id, jw.Code, jw.Body)
+	}
+	return fin.Body.Bytes(), jw.Body.Bytes()
+}
+
+// referenceRun drives the same session (same pinned ID) on a fresh
+// standalone worker, bypassing the control plane entirely.
+func referenceRun(t *testing.T, id string, create serve.CreateSessionRequest, jobs []*workload.Job) (report, journal []byte) {
+	t.Helper()
+	h := serve.New(serve.Config{}).Handler()
+	create.ID = id
+	mustDo(t, h, http.MethodPost, "/v1/sessions", create, http.StatusCreated, nil)
+	for _, j := range jobs {
+		mustDo(t, h, http.MethodPost, "/v1/sessions/"+id+"/jobs", submitReq(j), http.StatusOK, nil)
+	}
+	return finishSession(t, h, id)
+}
+
+// ownerOf reads a session's current worker (white-box).
+func ownerOf(t *testing.T, p *Plane, id string) string {
+	t.Helper()
+	p.mu.Lock()
+	rt := p.routes[id]
+	p.mu.Unlock()
+	if rt == nil {
+		t.Fatalf("no route for %s", id)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.worker
+}
+
+// The plane is transparent: sessions driven through a 4-worker fleet
+// produce reports and journals byte-identical to the same sessions driven
+// against a standalone worker, and the shadow journal the plane keeps is
+// byte-identical to the journal the worker wrote.
+func TestPlaneTransparencyAcrossFleet(t *testing.T) {
+	p, _ := newFleet(t, 4)
+	h := p.Handler()
+	const sessions = 8
+	create := serve.CreateSessionRequest{Policy: "Libra", Model: "commodity"}
+	owners := make(map[string]bool)
+	for s := 0; s < sessions; s++ {
+		jobs := testTrace(t, 25, int64(100+s))
+		id := createSession(t, p, create)
+		for _, j := range jobs {
+			mustDo(t, h, http.MethodPost, "/v1/sessions/"+id+"/jobs", submitReq(j), http.StatusOK, nil)
+		}
+		rep, jr := finishSession(t, h, id)
+		repRef, jrRef := referenceRun(t, id, create, jobs)
+		if !bytes.Equal(rep, repRef) {
+			t.Errorf("session %s: plane report diverged from standalone run:\nplane:      %s\nstandalone: %s", id, rep, repRef)
+		}
+		if !bytes.Equal(jr, jrRef) {
+			t.Errorf("session %s: plane journal diverged from standalone run", id)
+		}
+
+		// The shadow journal must be byte-identical to the worker's.
+		p.mu.Lock()
+		rt := p.routes[id]
+		p.mu.Unlock()
+		rt.mu.Lock()
+		shadow := append([]byte(nil), rt.shadow.Bytes()...)
+		rt.mu.Unlock()
+		if !bytes.Equal(shadow, jr) {
+			t.Errorf("session %s: shadow journal diverged from the worker's:\nshadow:\n%s\nworker:\n%s", id, shadow, jr)
+		}
+		owners[ownerOf(t, p, id)] = true
+	}
+	if len(owners) < 2 {
+		t.Errorf("8 sessions all landed on %d worker(s); the ring is not spreading", len(owners))
+	}
+	var top TopologyResponse
+	mustDo(t, h, http.MethodGet, "/control/v1/topology", nil, http.StatusOK, &top)
+	if len(top.Workers) != 4 {
+		t.Fatalf("topology lists %d workers, want 4", len(top.Workers))
+	}
+	total := 0
+	for _, w := range top.Workers {
+		if !w.Healthy {
+			t.Errorf("worker %s unhealthy in a healthy fleet", w.Name)
+		}
+		total += w.Sessions
+	}
+	if total != sessions || top.Sessions != sessions {
+		t.Errorf("topology counts %d routed / %d summed sessions, want %d", top.Sessions, total, sessions)
+	}
+}
+
+// Killing a worker mid-session must be invisible: the next request
+// recovers the session from its shadow journal onto a surviving worker
+// and the final report and journal stay byte-identical to an
+// uninterrupted standalone run.
+func TestPlaneCrashRecovery(t *testing.T) {
+	p, workers := newFleet(t, 3)
+	h := p.Handler()
+	create := serve.CreateSessionRequest{Policy: "Libra+$", Model: "commodity"}
+	jobs := testTrace(t, 30, 42)
+	id := createSession(t, p, create)
+	for _, j := range jobs[:17] {
+		mustDo(t, h, http.MethodPost, "/v1/sessions/"+id+"/jobs", submitReq(j), http.StatusOK, nil)
+	}
+
+	// Kill the session's worker without any goodbye.
+	owner := ownerOf(t, p, id)
+	for i, w := range workers {
+		if fmt.Sprintf("w-%d", i+1) == owner {
+			w.Close()
+		}
+	}
+
+	for _, j := range jobs[17:] {
+		mustDo(t, h, http.MethodPost, "/v1/sessions/"+id+"/jobs", submitReq(j), http.StatusOK, nil)
+	}
+	if newOwner := ownerOf(t, p, id); newOwner == owner {
+		t.Fatalf("session still routed to the dead worker %s", owner)
+	}
+	rep, jr := finishSession(t, h, id)
+	repRef, jrRef := referenceRun(t, id, create, jobs)
+	if !bytes.Equal(rep, repRef) {
+		t.Errorf("recovered report diverged from uninterrupted run:\nrecovered:     %s\nuninterrupted: %s", rep, repRef)
+	}
+	if !bytes.Equal(jr, jrRef) {
+		t.Errorf("recovered journal diverged from uninterrupted run:\nrecovered:\n%s\nuninterrupted:\n%s", jr, jrRef)
+	}
+
+	var top TopologyResponse
+	mustDo(t, h, http.MethodGet, "/control/v1/topology", nil, http.StatusOK, &top)
+	for _, w := range top.Workers {
+		if w.Name == owner && w.Healthy {
+			t.Errorf("dead worker %s still marked healthy", owner)
+		}
+	}
+}
+
+// The prober declares a silent worker dead after the configured number of
+// consecutive failures and proactively re-places its sessions, so clients
+// that were not mid-request never even see the crash.
+func TestPlaneProberRecoversSessions(t *testing.T) {
+	p, workers := newFleet(t, 2)
+	h := p.Handler()
+	create := serve.CreateSessionRequest{Policy: "FCFS-BF", Model: "commodity"}
+	jobs := testTrace(t, 12, 7)
+
+	// Spread a few sessions; find one on each worker.
+	ids := make([]string, 6)
+	for i := range ids {
+		ids[i] = createSession(t, p, create)
+		for _, j := range jobs[:4] {
+			mustDo(t, h, http.MethodPost, "/v1/sessions/"+ids[i]+"/jobs", submitReq(j), http.StatusOK, nil)
+		}
+	}
+	workers[0].Close()
+
+	if dead := p.ProbeOnce(); len(dead) != 0 {
+		t.Fatalf("first failed probe already declared %v dead; want the second to", dead)
+	}
+	if dead := p.ProbeOnce(); len(dead) != 1 || dead[0] != "w-1" {
+		t.Fatalf("second failed probe declared %v dead, want [w-1]", dead)
+	}
+	// Every session must now be routed to the survivor and finish with
+	// bytes identical to an uninterrupted run.
+	for _, id := range ids {
+		if owner := ownerOf(t, p, id); owner != "w-2" {
+			t.Errorf("session %s routed to %s after recovery, want w-2", id, owner)
+		}
+		for _, j := range jobs[4:] {
+			mustDo(t, h, http.MethodPost, "/v1/sessions/"+id+"/jobs", submitReq(j), http.StatusOK, nil)
+		}
+		rep, _ := finishSession(t, h, id)
+		repRef, _ := referenceRun(t, id, create, jobs)
+		if !bytes.Equal(rep, repRef) {
+			t.Errorf("session %s: post-probe report diverged:\ngot:  %s\nwant: %s", id, rep, repRef)
+		}
+	}
+}
+
+// Draining moves every session off the worker via release/import and the
+// drained worker refuses new placements; deregistering removes it from
+// the topology entirely.
+func TestPlaneDrainAndDeregister(t *testing.T) {
+	p, _ := newFleet(t, 3)
+	h := p.Handler()
+	create := serve.CreateSessionRequest{Policy: "Libra", Model: "bid"}
+	jobs := testTrace(t, 15, 13)
+	ids := make([]string, 6)
+	for i := range ids {
+		ids[i] = createSession(t, p, create)
+		for _, j := range jobs[:7] {
+			mustDo(t, h, http.MethodPost, "/v1/sessions/"+ids[i]+"/jobs", submitReq(j), http.StatusOK, nil)
+		}
+	}
+	victim := ownerOf(t, p, ids[0])
+	var top TopologyResponse
+	mustDo(t, h, http.MethodPost, "/control/v1/workers/"+victim+"/drain", nil, http.StatusOK, &top)
+	for _, w := range top.Workers {
+		if w.Name == victim {
+			if !w.Draining {
+				t.Errorf("worker %s not marked draining", victim)
+			}
+			if w.Sessions != 0 {
+				t.Errorf("worker %s still owns %d sessions after drain", victim, w.Sessions)
+			}
+		}
+	}
+	// Every session still completes with reference bytes.
+	for _, id := range ids {
+		if owner := ownerOf(t, p, id); owner == victim {
+			t.Errorf("session %s still routed to drained worker", id)
+		}
+		for _, j := range jobs[7:] {
+			mustDo(t, h, http.MethodPost, "/v1/sessions/"+id+"/jobs", submitReq(j), http.StatusOK, nil)
+		}
+		rep, _ := finishSession(t, h, id)
+		repRef, _ := referenceRun(t, id, create, jobs)
+		if !bytes.Equal(rep, repRef) {
+			t.Errorf("session %s: post-drain report diverged", id)
+		}
+	}
+	mustDo(t, h, http.MethodDelete, "/control/v1/workers/"+victim, nil, http.StatusOK, &top)
+	if len(top.Workers) != 2 {
+		t.Errorf("topology lists %d workers after deregister, want 2", len(top.Workers))
+	}
+}
+
+// A worker joining the fleet takes over only the sessions the ring hands
+// it (minimal movement), transparently to clients.
+func TestPlaneJoinRebalances(t *testing.T) {
+	p, _ := newFleet(t, 2)
+	h := p.Handler()
+	create := serve.CreateSessionRequest{Policy: "SJF-BF", Model: "commodity"}
+	jobs := testTrace(t, 14, 29)
+	const sessions = 10
+	ids := make([]string, sessions)
+	before := make(map[string]string)
+	for i := range ids {
+		ids[i] = createSession(t, p, create)
+		for _, j := range jobs[:6] {
+			mustDo(t, h, http.MethodPost, "/v1/sessions/"+ids[i]+"/jobs", submitReq(j), http.StatusOK, nil)
+		}
+		before[ids[i]] = ownerOf(t, p, ids[i])
+	}
+
+	w3 := newWorker(t)
+	mustDo(t, h, http.MethodPost, "/control/v1/workers",
+		RegisterWorkerRequest{Name: "w-3", URL: w3.URL}, http.StatusCreated, nil)
+
+	moved := 0
+	for _, id := range ids {
+		after := ownerOf(t, p, id)
+		if after != before[id] {
+			moved++
+			if after != "w-3" {
+				t.Errorf("session %s moved %s→%s on join; only moves to the joiner are minimal", id, before[id], after)
+			}
+		}
+	}
+	if moved == sessions {
+		t.Errorf("every session moved on join; movement is not minimal")
+	}
+	for _, id := range ids {
+		for _, j := range jobs[6:] {
+			mustDo(t, h, http.MethodPost, "/v1/sessions/"+id+"/jobs", submitReq(j), http.StatusOK, nil)
+		}
+		rep, _ := finishSession(t, h, id)
+		repRef, _ := referenceRun(t, id, create, jobs)
+		if !bytes.Equal(rep, repRef) {
+			t.Errorf("session %s: post-join report diverged", id)
+		}
+	}
+}
+
+// Plane-level request validation.
+func TestPlaneValidation(t *testing.T) {
+	p := New(Config{})
+	h := p.Handler()
+	// No workers: placement is impossible.
+	if w := do(t, h, http.MethodPost, "/v1/sessions", serve.CreateSessionRequest{Policy: "Libra", Model: "commodity"}); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("create with no workers: status %d, want 503", w.Code)
+	}
+	// Clients may not pin session IDs through the plane.
+	if w := do(t, h, http.MethodPost, "/v1/sessions", serve.CreateSessionRequest{ID: "x", Policy: "Libra", Model: "commodity"}); w.Code != http.StatusBadRequest {
+		t.Errorf("create with pinned ID: status %d, want 400", w.Code)
+	}
+	// Unknown sessions 404 on every session-scoped route.
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodPost, "/v1/sessions/nope/jobs"},
+		{http.MethodGet, "/v1/sessions/nope/report"},
+		{http.MethodGet, "/v1/sessions/nope/journal"},
+		{http.MethodPost, "/v1/sessions/nope/finalize"},
+		{http.MethodDelete, "/v1/sessions/nope"},
+	} {
+		if w := do(t, h, probe.method, probe.path, nil); w.Code != http.StatusNotFound {
+			t.Errorf("%s %s: status %d, want 404", probe.method, probe.path, w.Code)
+		}
+	}
+	// Registration needs both fields; unknown workers 404 on admin routes.
+	if w := do(t, h, http.MethodPost, "/control/v1/workers", RegisterWorkerRequest{Name: "w"}); w.Code != http.StatusBadRequest {
+		t.Errorf("register without URL: status %d, want 400", w.Code)
+	}
+	if w := do(t, h, http.MethodPost, "/control/v1/workers/nope/drain", nil); w.Code != http.StatusNotFound {
+		t.Errorf("drain unknown worker: status %d, want 404", w.Code)
+	}
+	if w := do(t, h, http.MethodDelete, "/control/v1/workers/nope", nil); w.Code != http.StatusNotFound {
+		t.Errorf("deregister unknown worker: status %d, want 404", w.Code)
+	}
+	// Worker-side validation errors pass through the plane untouched.
+	p2, _ := newFleet(t, 1)
+	id := createSession(t, p2, serve.CreateSessionRequest{Policy: "Libra", Model: "commodity"})
+	if w := do(t, p2.Handler(), http.MethodPost, "/v1/sessions/"+id+"/jobs", serve.SubmitJobRequest{Runtime: -1, Deadline: 1, Budget: 1}); w.Code != http.StatusBadRequest {
+		t.Errorf("invalid submit through plane: status %d, want 400", w.Code)
+	}
+	// A session deleted through the plane is forgotten by both layers.
+	mustDo(t, p2.Handler(), http.MethodDelete, "/v1/sessions/"+id, nil, http.StatusOK, nil)
+	if w := do(t, p2.Handler(), http.MethodGet, "/v1/sessions/"+id+"/report", nil); w.Code != http.StatusNotFound {
+		t.Errorf("report after delete: status %d, want 404", w.Code)
+	}
+}

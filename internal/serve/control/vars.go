@@ -1,0 +1,44 @@
+package control
+
+import (
+	"expvar"
+	"sync"
+)
+
+// counters are the process-wide expvar gauges the control plane serves
+// under /debug/vars:
+//
+//	control.sessions_created    sessions placed across the fleet
+//	control.jobs_forwarded      job submissions forwarded to workers
+//	control.migrations          planned session moves (drain, rebalance)
+//	control.recoveries          sessions rebuilt from shadow journals after a crash
+//	control.workers_registered  worker registrations over the process lifetime
+type counters struct {
+	sessionsCreated   *expvar.Int
+	jobsForwarded     *expvar.Int
+	migrations        *expvar.Int
+	recoveries        *expvar.Int
+	workersRegistered *expvar.Int
+}
+
+var (
+	varsOnce sync.Once
+	vars     *counters
+)
+
+// publishVars returns the process-wide counters, publishing the expvar
+// variables on first call. expvar registration is global and permanent,
+// hence the singleton — every Plane in a process (tests included) shares
+// them.
+func publishVars() *counters {
+	varsOnce.Do(func() {
+		vars = &counters{
+			sessionsCreated:   expvar.NewInt("control.sessions_created"),
+			jobsForwarded:     expvar.NewInt("control.jobs_forwarded"),
+			migrations:        expvar.NewInt("control.migrations"),
+			recoveries:        expvar.NewInt("control.recoveries"),
+			workersRegistered: expvar.NewInt("control.workers_registered"),
+		}
+	})
+	return vars
+}

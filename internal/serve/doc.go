@@ -22,4 +22,15 @@
 // experiment-suite worker pool (see docs/performance.md): a session's
 // simulation still runs on one goroutine at a time, preserving the sim
 // kernel's single-threaded determinism contract.
+//
+// The same Server is also the worker half of the control-plane/worker
+// split (see internal/serve/control). The /worker/v1 routes are the
+// migration surface: a session travels between workers as its journal
+// bytes, and ImportSession rebuilds it by deterministic replay, refusing
+// any journal whose replay is not bit-identical to what was exported.
+// Release exports without finalizing, drain refuses new sessions while
+// serving live ones, and /healthz reports the capacity figures the control
+// plane's prober reads. Because a replayed session is the session, worker
+// crash recovery, rebalancing, and drains are all the same operation, and
+// none of them can change a byte any client observes.
 package serve

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// ImportSession rebuilds a live session from its journal bytes by
+// deterministic replay: a fresh driver is built from the header's
+// parameterization (policy, model, machine, fault process), every
+// journaled decision's job is re-submitted in order, and — when the
+// journal carries a final line — the session is re-finalized. The replayed
+// journal must reproduce the source byte for byte; any divergence aborts
+// the import with the first differing line, because a session whose
+// replayed decisions differ from what clients were already told is not the
+// same session. On success the session is registered under the header's ID
+// and resumes exactly where the exporting worker stopped.
+//
+// This is the service plane's migration mechanism: rebalancing, draining,
+// and crash recovery all move sessions as journal bytes and rely on this
+// byte-check — the same determinism contract the offline scheduler.Run
+// bridge pins.
+func (s *Server) ImportSession(journal []byte) (string, error) {
+	rec, err := obs.ParseSessionJournal(journal)
+	if err != nil {
+		return "", err
+	}
+	if rec.Header.ID == "" {
+		return "", fmt.Errorf("serve: imported journal header has no session ID")
+	}
+	driver, header, err := buildDriver(sessionParams{
+		Policy: rec.Header.Policy, Model: rec.Header.Model,
+		Nodes: rec.Header.Nodes, BasePrice: rec.Header.BasePrice,
+		Seed: rec.Header.Seed, FaultIntensity: rec.Header.FaultIntensity,
+		FaultHorizon: rec.Header.FaultHorizon,
+	})
+	if err != nil {
+		return "", fmt.Errorf("serve: importing session %s: %w", rec.Header.ID, err)
+	}
+	header.ID = rec.Header.ID
+	replayed := obs.NewSessionJournal(header)
+	nextJob := 1
+	for _, d := range rec.Decisions {
+		j := &workload.Job{
+			ID: d.Job, Submit: d.Submit, Runtime: d.Runtime, Estimate: d.Estimate,
+			Procs: d.Procs, Deadline: d.Deadline, Budget: d.Budget,
+			PenaltyRate: d.PenaltyRate, HighUrgency: d.HighUrgency,
+		}
+		dec, err := driver.Submit(j)
+		if err != nil {
+			return "", fmt.Errorf("serve: replaying session %s job %d: %w", rec.Header.ID, d.Job, err)
+		}
+		replayed.Decision(obs.SessionDecision{
+			Job: j.ID, Submit: j.Submit, Runtime: j.Runtime, Estimate: j.Estimate,
+			Procs: j.Procs, Deadline: j.Deadline, Budget: j.Budget, PenaltyRate: j.PenaltyRate,
+			HighUrgency: j.HighUrgency,
+			Admission:   dec.Admission.String(), Quote: dec.Quote,
+		})
+		if j.ID >= nextJob {
+			nextJob = j.ID + 1
+		}
+	}
+	finalLogged := false
+	if rec.Final != nil {
+		replayed.Final(driver.Finalize())
+		finalLogged = true
+	}
+	if err := replayed.Err(); err != nil {
+		return "", fmt.Errorf("serve: replaying session %s: %w", rec.Header.ID, err)
+	}
+	if !bytes.Equal(replayed.Bytes(), journal) {
+		return "", fmt.Errorf(
+			"serve: replay of session %s diverged from its journal at line %d — refusing to import a session that is not bit-identical to the one exported",
+			rec.Header.ID, firstDiffLine(replayed.Bytes(), journal))
+	}
+	if _, err := s.store.insert(header.ID, driver, replayed, nextJob, finalLogged); err != nil {
+		return "", err
+	}
+	return header.ID, nil
+}
+
+// firstDiffLine returns the 1-based index of the first line where two
+// journals differ.
+func firstDiffLine(a, b []byte) int {
+	la := bytes.Split(a, []byte("\n"))
+	lb := bytes.Split(b, []byte("\n"))
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			return i + 1
+		}
+	}
+	return n + 1
+}

@@ -1,0 +1,12 @@
+// Package ring is the service plane's consistent-hash routing table: a
+// 64-bit hash circle (FNV-1a with a splitmix64 finalizer) with virtual
+// nodes, mapping session IDs to worker names. The control plane (internal/serve/control) owns one Ring
+// and re-derives session placement from it on every membership change; the
+// minimal-movement property of consistent hashing keeps rebalancing
+// migrations proportional to the capacity that actually joined or left.
+//
+// Assignments are a pure function of the membership set and the key — no
+// map iteration, no runtime hash seed — so routing is deterministic across
+// processes and Go versions. The golden-fixture test pins a sample
+// assignment table to make an accidental hash change loud.
+package ring

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"expvar"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/economy"
@@ -55,13 +58,17 @@ func (c Config) withDefaults() Config {
 }
 
 // Server is the HTTP service: the session registry, the admission
-// limiter, and the route table.
+// limiter, and the route table. The same Server is both the standalone
+// riskserved daemon and the worker half of the control-plane/worker split
+// — the /worker/v1 routes (session import, release, drain) are the
+// migration surface the control plane drives.
 type Server struct {
-	cfg   Config
-	store *store
-	sem   chan struct{}
-	vars  *counters
-	mux   *http.ServeMux
+	cfg      Config
+	store    *store
+	sem      chan struct{}
+	vars     *counters
+	mux      *http.ServeMux
+	draining atomic.Bool
 }
 
 // New builds a Server with its routes mounted.
@@ -87,6 +94,9 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /v1/sessions/{id}/journal", s.limited(s.handleJournal))
 	s.mux.Handle("POST /v1/sessions/{id}/finalize", s.limited(s.handleFinalize))
 	s.mux.Handle("DELETE /v1/sessions/{id}", s.limited(s.handleDelete))
+	s.mux.Handle("POST /worker/v1/sessions/import", s.limited(s.handleImport))
+	s.mux.Handle("POST /worker/v1/sessions/{id}/release", s.limited(s.handleRelease))
+	s.mux.HandleFunc("POST /worker/v1/drain", s.handleDrain)
 	return s
 }
 
@@ -135,32 +145,47 @@ func (s *Server) limited(h http.HandlerFunc) http.Handler {
 	})
 }
 
+// Draining reports whether the worker has stopped accepting new sessions.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": s.store.size()})
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:      "ok",
+		Sessions:    s.store.size(),
+		MaxSessions: s.cfg.MaxSessions,
+		Draining:    s.draining.Load(),
+	})
 }
 
-func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	var req CreateSessionRequest
-	if err := readJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
-		return
-	}
-	m, err := registry.ParseModel(req.Model)
+// sessionParams is the resolved parameterization shared by the create
+// handler and the import replay path.
+type sessionParams struct {
+	Policy, Model  string
+	Nodes          int
+	BasePrice      float64
+	Seed           int64
+	FaultIntensity string
+	FaultHorizon   float64
+}
+
+// buildDriver validates the parameters and constructs the step-driven
+// simulation plus the journal header describing it. Defaults (128 nodes,
+// the paper's base price) are applied here so the create and import paths
+// resolve identically.
+func buildDriver(p sessionParams) (*scheduler.Session, obs.SessionHeader, error) {
+	m, err := registry.ParseModel(p.Model)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, obs.SessionHeader{}, err
 	}
-	spec, err := registry.PolicySpec(req.Policy, m)
+	spec, err := registry.PolicySpec(p.Policy, m)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, obs.SessionHeader{}, err
 	}
-	intensity, err := faults.ParseIntensity(req.FaultIntensity)
+	intensity, err := faults.ParseIntensity(p.FaultIntensity)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, obs.SessionHeader{}, err
 	}
-	cfg := scheduler.RunConfig{Nodes: req.Nodes, Model: m, BasePrice: req.BasePrice}
+	cfg := scheduler.RunConfig{Nodes: p.Nodes, Model: m, BasePrice: p.BasePrice}
 	if cfg.Nodes == 0 {
 		cfg.Nodes = 128
 	}
@@ -174,45 +199,72 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		BasePrice: cfg.BasePrice,
 	}
 	if intensity.Enabled() {
-		if req.FaultHorizon <= 0 {
-			writeError(w, http.StatusBadRequest,
+		if p.FaultHorizon <= 0 {
+			return nil, obs.SessionHeader{}, fmt.Errorf(
 				"fault intensity %s requires a positive fault_horizon (an online session cannot infer its workload's extent)", intensity)
-			return
 		}
-		f := intensity.Config(req.Seed, req.FaultHorizon)
+		f := intensity.Config(p.Seed, p.FaultHorizon)
 		cfg.Faults = &f
-		header.Seed = req.Seed
+		header.Seed = p.Seed
 		header.FaultIntensity = intensity.String()
-		header.FaultHorizon = req.FaultHorizon
-	} else if req.FaultHorizon != 0 {
-		writeError(w, http.StatusBadRequest, "fault_horizon set without a fault intensity")
-		return
+		header.FaultHorizon = p.FaultHorizon
+	} else if p.FaultHorizon != 0 {
+		return nil, obs.SessionHeader{}, fmt.Errorf("fault_horizon set without a fault intensity")
 	}
 	driver, err := scheduler.NewSession(spec.New, cfg)
+	if err != nil {
+		return nil, obs.SessionHeader{}, err
+	}
+	return driver, header, nil
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "worker is draining; no new sessions")
+		return
+	}
+	var req CreateSessionRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	driver, header, err := buildDriver(sessionParams{
+		Policy: req.Policy, Model: req.Model, Nodes: req.Nodes, BasePrice: req.BasePrice,
+		Seed: req.Seed, FaultIntensity: req.FaultIntensity, FaultHorizon: req.FaultHorizon,
+	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	header.ID = s.store.allocID()
-	sess, err := s.store.insert(header.ID, driver, obs.NewSessionJournal(header))
+	header.ID = req.ID
+	if header.ID == "" {
+		header.ID = s.store.allocID()
+	}
+	sess, err := s.store.insert(header.ID, driver, obs.NewSessionJournal(header), 1, false)
 	if err != nil {
-		if errors.Is(err, errFull) {
+		switch {
+		case errors.Is(err, errFull):
 			s.vars.requestsShed.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, "session registry full (%d live)", s.cfg.MaxSessions)
-			return
+		case errors.Is(err, errExists):
+			writeError(w, http.StatusConflict, "session %q already live on this worker", header.ID)
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
 		}
-		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	s.vars.sessionsCreated.Add(1)
 	writeJSON(w, http.StatusCreated, CreateSessionResponse{
-		ID: sess.id, Policy: spec.Name, Model: m.String(),
-		Nodes: cfg.Nodes, BasePrice: cfg.BasePrice,
+		ID: sess.id, Policy: header.Policy, Model: header.Model,
+		Nodes: header.Nodes, BasePrice: header.BasePrice,
 	})
 }
 
-// getSession resolves {id}, writing the 404 itself when absent.
+// getSession resolves {id}, writing the 404 itself when absent. A true
+// return carries an in-flight mark; the caller must release it (see
+// store.release) once the request is done.
 func (s *Server) getSession(w http.ResponseWriter, r *http.Request) (*session, bool) {
 	id := r.PathValue("id")
 	sess, ok := s.store.get(id)
@@ -227,6 +279,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer s.store.release(sess)
 	var req SubmitJobRequest
 	if err := readJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
@@ -274,7 +327,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	sess.journal.Decision(obs.SessionDecision{
 		Job: j.ID, Submit: j.Submit, Runtime: j.Runtime, Estimate: j.Estimate,
 		Procs: j.Procs, Deadline: j.Deadline, Budget: j.Budget, PenaltyRate: j.PenaltyRate,
-		Admission: d.Admission.String(), Quote: d.Quote,
+		HighUrgency: j.HighUrgency,
+		Admission:   d.Admission.String(), Quote: d.Quote,
 	})
 	s.vars.jobsSubmitted.Add(1)
 	writeJSON(w, http.StatusOK, SubmitJobResponse{
@@ -305,6 +359,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer s.store.release(sess)
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	writeJSON(w, http.StatusOK, s.reportResponse(sess, sess.driver.Snapshot()))
@@ -315,6 +370,7 @@ func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer s.store.release(sess)
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if err := sess.journal.Err(); err != nil {
@@ -341,6 +397,7 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer s.store.release(sess)
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	writeJSON(w, http.StatusOK, s.reportResponse(sess, finalizeLocked(sess)))
@@ -351,6 +408,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer s.store.release(sess)
 	sess.mu.Lock()
 	rep := finalizeLocked(sess)
 	resp := s.reportResponse(sess, rep)
@@ -359,4 +417,80 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		s.vars.sessionsEvicted.Add(1)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleImport rebuilds a migrated session from its journal bytes by
+// deterministic replay (see ImportSession). 201 echoes the session ID the
+// journal header carried.
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "worker is draining; no session imports")
+		return
+	}
+	journal, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxJournalBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading journal body: %v", err)
+		return
+	}
+	id, err := s.ImportSession(journal)
+	if err != nil {
+		switch {
+		case errors.Is(err, errFull):
+			s.vars.requestsShed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "session registry full (%d live)", s.cfg.MaxSessions)
+		case errors.Is(err, errExists):
+			writeError(w, http.StatusConflict, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	s.vars.sessionsImported.Add(1)
+	writeJSON(w, http.StatusCreated, ImportSessionResponse{ID: id})
+}
+
+// handleRelease hands a session off for migration: the journal bytes are
+// returned as the response body and the session is evicted WITHOUT being
+// finalized — the importing worker resumes it live, mid-stream. This is
+// the cooperative half of migration; crash recovery replays the control
+// plane's shadow journal instead.
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	defer s.store.release(sess)
+	sess.mu.Lock()
+	if err := sess.journal.Err(); err != nil {
+		sess.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, "journal: %v", err)
+		return
+	}
+	journal := append([]byte(nil), sess.journal.Bytes()...)
+	sess.mu.Unlock()
+	if !s.store.remove(sess.id) {
+		// A concurrent delete or sweep won the race; the caller must not
+		// import a journal this worker no longer owns.
+		writeError(w, http.StatusNotFound, "session %q already gone", sess.id)
+		return
+	}
+	s.vars.sessionsReleased.Add(1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Write(journal) //lint:allow errignore — headers are sent; nothing useful can follow a mid-body failure
+}
+
+// handleDrain flips the worker into draining mode: no new sessions, no
+// imports; live sessions keep serving until the control plane releases
+// them. Draining is one-way for a worker process — the control plane
+// deregisters it afterwards.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.draining.Store(true)
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:      "draining",
+		Sessions:    s.store.size(),
+		MaxSessions: s.cfg.MaxSessions,
+		Draining:    true,
+	})
 }

@@ -32,6 +32,11 @@ type session struct {
 	// request, read by the idle sweeper. Wall time here is operator
 	// accounting — it never reaches the simulation.
 	lastUsed atomic.Int64
+	// inflight counts requests between lookup and completion. The idle
+	// sweeper skips sessions with in-flight requests: without the guard a
+	// sweep racing a slow Submit could evict the session mid-request, so the
+	// client would get a 200 whose decision is unreachable afterwards.
+	inflight atomic.Int32
 }
 
 // touch stamps the session as just used.
@@ -77,6 +82,10 @@ func (st *store) shardFor(id string) *shard {
 // errFull reports a registry at capacity; the server maps it to 503.
 var errFull = fmt.Errorf("serve: session registry full")
 
+// errExists reports an insert under an ID already live on this worker; the
+// server maps it to 409.
+var errExists = fmt.Errorf("serve: session ID already in use")
+
 // allocID reserves the next sequential session ID. IDs are allocated
 // before insertion so the journal header can carry the ID from its first
 // byte.
@@ -84,38 +93,60 @@ func (st *store) allocID() string {
 	return fmt.Sprintf("s-%d", st.nextID.Add(1))
 }
 
-// insert registers a session under a previously allocated ID. The capacity
-// check is an atomic reserve-then-verify so concurrent creates cannot
-// overshoot max.
-func (st *store) insert(id string, driver *scheduler.Session, journal *obs.SessionJournal) (*session, error) {
+// insert registers a session under a previously allocated (or imported)
+// ID. The capacity check is an atomic reserve-then-verify so concurrent
+// creates cannot overshoot max; an ID already live on the worker is
+// refused (a control plane re-importing a session it failed to release
+// must hear about it, not silently shadow the live copy).
+func (st *store) insert(id string, driver *scheduler.Session, journal *obs.SessionJournal, nextJob int, finalLogged bool) (*session, error) {
 	if st.count.Add(1) > int64(st.max) {
 		st.count.Add(-1)
 		return nil, errFull
 	}
 	s := &session{
-		id:      id,
-		driver:  driver,
-		journal: journal,
-		nextJob: 1,
+		id:          id,
+		driver:      driver,
+		journal:     journal,
+		nextJob:     nextJob,
+		finalLogged: finalLogged,
 	}
 	s.touch(st.now())
 	sh := st.shardFor(s.id)
 	sh.mu.Lock()
+	if _, dup := sh.sessions[s.id]; dup {
+		sh.mu.Unlock()
+		st.count.Add(-1)
+		return nil, errExists
+	}
 	sh.sessions[s.id] = s
 	sh.mu.Unlock()
 	return s, nil
 }
 
-// get looks a session up and stamps it used.
+// get looks a session up, stamps it used, and marks one request in flight;
+// every lookup must be paired with a release once the request is done.
 func (st *store) get(id string) (*session, bool) {
 	sh := st.shardFor(id)
 	sh.mu.Lock()
 	s, ok := sh.sessions[id]
+	if ok {
+		s.inflight.Add(1)
+	}
 	sh.mu.Unlock()
 	if ok {
 		s.touch(st.now())
 	}
 	return s, ok
+}
+
+// release marks a request done: the idle clock restarts at request
+// completion (so a long-running request cannot expire mid-flight and then
+// be evicted before the client's follow-up), and the in-flight guard
+// drops. The touch happens before the decrement: once the sweeper can see
+// inflight == 0, lastUsed is already fresh.
+func (st *store) release(s *session) {
+	s.touch(st.now())
+	s.inflight.Add(-1)
 }
 
 // remove evicts a session, reporting whether it existed.
@@ -136,7 +167,10 @@ func (st *store) size() int { return int(st.count.Load()) }
 
 // sweepIdle evicts every session idle longer than maxIdle and returns the
 // evicted IDs in sorted order. Candidate IDs are collected first and
-// re-checked under the shard lock, so a session touched mid-sweep survives.
+// re-checked under the shard lock, so a session touched mid-sweep
+// survives; sessions with a request in flight are skipped outright — the
+// idle clock restarts when the request releases, so a session can only be
+// evicted between requests, never under one.
 func (st *store) sweepIdle(maxIdle time.Duration) []string {
 	cutoff := st.now().Add(-maxIdle).UnixNano()
 	var evicted []string
@@ -148,7 +182,11 @@ func (st *store) sweepIdle(maxIdle time.Duration) []string {
 			ids = append(ids, id)
 		}
 		for _, id := range ids {
-			if sh.sessions[id].lastUsed.Load() <= cutoff {
+			s := sh.sessions[id]
+			if s.inflight.Load() > 0 {
+				continue
+			}
+			if s.lastUsed.Load() <= cutoff {
 				delete(sh.sessions, id)
 				st.count.Add(-1)
 				evicted = append(evicted, id)

@@ -10,13 +10,17 @@ import (
 //
 //	serve.sessions_created   sessions created over the process lifetime
 //	serve.sessions_evicted   sessions removed (DELETE or idle sweep)
+//	serve.sessions_imported  sessions rebuilt by journal replay (migration in)
+//	serve.sessions_released  sessions handed off for migration (migration out)
 //	serve.jobs_submitted     jobs accepted into a session's trace
 //	serve.requests_rejected  requests shed by the concurrency or capacity limit
 type counters struct {
-	sessionsCreated *expvar.Int
-	sessionsEvicted *expvar.Int
-	jobsSubmitted   *expvar.Int
-	requestsShed    *expvar.Int
+	sessionsCreated  *expvar.Int
+	sessionsEvicted  *expvar.Int
+	sessionsImported *expvar.Int
+	sessionsReleased *expvar.Int
+	jobsSubmitted    *expvar.Int
+	requestsShed     *expvar.Int
 }
 
 var (
@@ -31,10 +35,12 @@ var (
 func publishVars() *counters {
 	varsOnce.Do(func() {
 		vars = &counters{
-			sessionsCreated: expvar.NewInt("serve.sessions_created"),
-			sessionsEvicted: expvar.NewInt("serve.sessions_evicted"),
-			jobsSubmitted:   expvar.NewInt("serve.jobs_submitted"),
-			requestsShed:    expvar.NewInt("serve.requests_rejected"),
+			sessionsCreated:  expvar.NewInt("serve.sessions_created"),
+			sessionsEvicted:  expvar.NewInt("serve.sessions_evicted"),
+			sessionsImported: expvar.NewInt("serve.sessions_imported"),
+			sessionsReleased: expvar.NewInt("serve.sessions_released"),
+			jobsSubmitted:    expvar.NewInt("serve.jobs_submitted"),
+			requestsShed:     expvar.NewInt("serve.requests_rejected"),
 		}
 	})
 	return vars
