@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot cover cover-check bench bench-capture bench-diff bench-gate doc-check fuzz fuzz-sim fuzz-broker results examples clean verify lint fmt-check serve-smoke slo
+.PHONY: all build vet test race race-hot cover cover-check bench bench-capture bench-diff bench-gate doc-check fuzz fuzz-sim fuzz-broker results examples clean verify lint fmt-check serve-smoke stream-smoke slo
 
 all: build vet test
 
@@ -59,10 +59,13 @@ cover:
 # federated job and must stay >= 90%; the analyzer suite guards every
 # other invariant and must itself stay well-covered; the service plane
 # (worker API, control plane, placement ring, load generator) carries the
-# migration determinism contract and floors at 85%.
+# migration determinism contract and floors at 85%; the streaming risk
+# engine carries the live-vs-offline bit-identity contract and floors at
+# 90%.
 cover-check:
 	@$(GO) test -cover ./internal/faults ./internal/cluster ./internal/broker ./internal/lint \
-		./internal/serve ./internal/serve/control ./internal/serve/ring ./internal/load | awk ' \
+		./internal/serve ./internal/serve/control ./internal/serve/ring ./internal/load \
+		./internal/streamrisk | awk ' \
 		{ print } \
 		$$2 ~ /internal\/faults$$/        && $$5+0 < 90 { print "FAIL: internal/faults coverage " $$5 " below 90% floor"; bad=1 } \
 		$$2 ~ /internal\/cluster$$/       && $$5+0 < 95 { print "FAIL: internal/cluster coverage " $$5 " below 95% floor"; bad=1 } \
@@ -72,6 +75,7 @@ cover-check:
 		$$2 ~ /internal\/serve\/control$$/ && $$5+0 < 85 { print "FAIL: internal/serve/control coverage " $$5 " below 85% floor"; bad=1 } \
 		$$2 ~ /internal\/serve\/ring$$/   && $$5+0 < 85 { print "FAIL: internal/serve/ring coverage " $$5 " below 85% floor"; bad=1 } \
 		$$2 ~ /internal\/load$$/          && $$5+0 < 85 { print "FAIL: internal/load coverage " $$5 " below 85% floor"; bad=1 } \
+		$$2 ~ /internal\/streamrisk$$/    && $$5+0 < 90 { print "FAIL: internal/streamrisk coverage " $$5 " below 90% floor"; bad=1 } \
 		END { exit bad }'
 
 # One benchmark iteration per table/figure/ablation: fast sanity pass,
@@ -87,7 +91,7 @@ OUT ?= BENCH_local.json
 bench-capture:
 	$(GO) run ./cmd/benchjson -config short -suite -out $(OUT)
 
-OLD ?= BENCH_PR8.json
+OLD ?= BENCH_PR10.json
 NEW ?= BENCH_local.json
 bench-diff:
 	$(GO) run ./cmd/benchjson -diff $(OLD) $(NEW)
@@ -120,6 +124,18 @@ serve-smoke:
 	$(GO) test -race -count=1 -run 'TestServe' ./cmd/riskserved ./cmd/riskctl ./internal/serve
 	$(GO) test -race -count=1 ./internal/serve/control
 
+# Streaming-risk smoke: boot the real riskserved daemon, subscribe to
+# /v1/risk/stream over real HTTP, drive a seeded faulted session, and
+# require the streamed cumulative scores to byte-match the offline
+# streamrisk recomputation of the journal the daemon wrote — plus the
+# riskwatch dashboard's follow/threshold paths and the serve-layer
+# stream tests (stalled-subscriber admission safety, migration
+# equivalence), all under the race detector.
+stream-smoke:
+	$(GO) test -race -count=1 -run 'TestStreamSmoke' ./cmd/riskserved
+	$(GO) test -race -count=1 ./cmd/riskwatch
+	$(GO) test -race -count=1 -run 'TestRiskStream|TestRiskEndpoint|TestFleetRisk' ./internal/serve ./internal/serve/control
+
 # Informational SLO probe: riskload against a self-hosted four-worker
 # topology with a fixed seed, gated on p99 latency over all operations.
 # Latency SLOs are machine-dependent, so the gate ships permissive
@@ -127,7 +143,7 @@ serve-smoke:
 # and SLO_GATE=off downgrades violations to warnings the same way
 # BENCH_GATE=off defuses the bench gate. See docs/performance.md.
 slo:
-	SLO_GATE=$(SLO_GATE) $(GO) run ./cmd/riskload -workers 4 -rate 50 -sessions 32 -jobs 10 -seed 1 -slo-p99 250ms
+	SLO_GATE=$(SLO_GATE) $(GO) run ./cmd/riskload -workers 4 -rate 50 -sessions 32 -jobs 10 -seed 1 -slo-p99 250ms -risk-stream
 
 fuzz:
 	$(GO) test ./internal/workload/ -run FuzzReadSWF -fuzz FuzzReadSWF -fuzztime 30s

@@ -6,9 +6,11 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/economy"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
+	"repro/internal/streamrisk"
 	"repro/internal/workload"
 )
 
@@ -22,7 +24,8 @@ type probe struct {
 
 // probes returns the probe set for a config. Names are namespaced so the
 // diff gate can reason about families: sim/* is the event kernel,
-// cluster/* the accounting structures, suite/* end-to-end throughput.
+// cluster/* the accounting structures, serve/* the service plane's
+// streaming surface, suite/* end-to-end throughput.
 // The paper config appends the 5000-job paper-scale probes.
 func probes(config string) []probe {
 	ps := []probe{
@@ -32,6 +35,7 @@ func probes(config string) []probe {
 		{"sim/mixed-heap/depth=4096", probeEngineMixedHeap},
 		{"cluster/timeshared-churn/nodes=32", probeTimeSharedChurn},
 		{"cluster/spaceshared-earliest/nodes=128", probeSpaceSharedEarliest},
+		{"serve/risk-stream/subs=4", probeRiskStreamIngest},
 		{"suite/commodity-small/jobs=150", probeSuiteSmall},
 		{"suite/replicated-cells/reps=4", probeSuiteReplicated},
 		{"suite/federated/clusters=4", probeSuiteFederated},
@@ -229,6 +233,48 @@ func probeSpaceSharedEarliest(b *testing.B) {
 	b.StopTimer()
 	if count == 0 && sink == 0 {
 		b.Fatal("degenerate probe: no availability answers")
+	}
+}
+
+// probeRiskStreamIngest measures the streaming risk engine's per-decision
+// ingest cost with four saturated subscribers: every op folds one journal
+// decision into session/policy/cluster/global trackers, snapshots all four
+// score scopes, and fans the delta out (the subscribers' buffers fill
+// after the first DefaultSubscriberBuffer events, so steady state is the
+// non-blocking drop path — exactly what a stalled SSE consumer costs the
+// admission path). Allocs/op gates at zero: the ingest fold must not
+// allocate at steady state.
+func probeRiskStreamIngest(b *testing.B) {
+	const subs = 4
+	b.ReportAllocs()
+	e := streamrisk.NewEngine(streamrisk.Config{})
+	for i := 0; i < subs; i++ {
+		if _, err := e.Subscribe(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	h := obs.SessionHeader{ID: "probe", Policy: "Libra", Model: "commodity"}
+	var g lcg = 19
+	decisions := make([]obs.SessionDecision, 256)
+	for i := range decisions {
+		runtime := 20 + g.float()*200
+		decisions[i] = obs.SessionDecision{
+			Job: i + 1, Submit: float64(i), Runtime: runtime, Estimate: runtime,
+			Procs: 1 + int(g.next()%4), Deadline: runtime * (0.8 + g.float()),
+			Budget: 50 + g.float()*100, PenaltyRate: g.float(),
+			HighUrgency: g.next()%4 == 0, Admission: "accepted", Quote: 10 + g.float()*50,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.JournalDecision(h, decisions[i%len(decisions)])
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "events/s")
+	}
+	if snap := e.Snapshot(); snap.Seq != uint64(b.N) {
+		b.Fatalf("engine ingested %d events, want %d", snap.Seq, b.N)
 	}
 }
 

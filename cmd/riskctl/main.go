@@ -12,14 +12,18 @@
 //	DELETE /control/v1/workers/{name}    deregister; evacuate its sessions first
 //	POST   /control/v1/workers/{name}/drain  drain: stop placement, move sessions off
 //	GET    /control/v1/topology          workers, health, session placement
+//	GET    /v1/risk                      fleet-wide streaming-risk snapshot
+//	GET    /v1/risk/stream               fleet-wide live risk deltas (SSE)
 //	GET    /healthz                      liveness + fleet summary
 //	GET    /debug/vars                   expvar counters
 //
 // Sessions move between workers by deterministic journal replay, so a
 // worker crash, a drain, and a rebalance are all the same operation; the
 // prober detects dead workers and re-places their sessions from the
-// control plane's shadow journals. See docs/architecture.md ("Service
-// plane").
+// control plane's shadow journals. The same shadow journals feed the
+// plane's streaming risk engine, so /v1/risk aggregates fleet-wide and is
+// undisturbed by migration and recovery. See docs/architecture.md
+// ("Service plane", "Streaming risk").
 package main
 
 import (
@@ -45,11 +49,15 @@ func main() {
 		probeFailures = flag.Int("probe-failures", 2, "consecutive probe failures before a worker is declared dead")
 		clientTimeout = flag.Duration("client-timeout", 10*time.Second, "per-request timeout when forwarding to workers")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown window after SIGINT/SIGTERM")
+		riskWindow    = flag.Int("risk-window", 0, "fleet risk engine sliding-window size in decisions (0 = default)")
+		riskSubs      = flag.Int("max-risk-subscribers", 0, "maximum concurrent /v1/risk/stream subscribers (0 = default)")
 	)
 	flag.Parse()
 	cfg := control.Config{
-		ProbeFailures: *probeFailures,
-		Client:        &http.Client{Timeout: *clientTimeout},
+		ProbeFailures:      *probeFailures,
+		Client:             &http.Client{Timeout: *clientTimeout},
+		RiskWindow:         *riskWindow,
+		MaxRiskSubscribers: *riskSubs,
 	}
 	if err := run(context.Background(), *addr, cfg, *probeInterval, *drainTimeout, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "riskctl:", err)

@@ -12,6 +12,13 @@
 // service faces mounting concurrency rather than a self-throttling
 // client (see internal/load).
 //
+// With -risk-stream the run also keeps one /v1/risk/stream SSE
+// subscriber open end to end and reports, in the result JSON, the deltas
+// and resyncs it received, the deltas it demonstrably lost (sequence
+// gaps), and how far it lagged the engine when the load finished — a
+// one-flag answer to "does the streaming surface keep up under this
+// load".
+//
 // The run's result is printed as JSON on stdout. When any -slo-* flag is
 // set and violated, riskload exits nonzero — unless SLO_GATE=off, which
 // downgrades violations to warnings the same way BENCH_GATE=off
@@ -42,11 +49,12 @@ func main() {
 		sloP99   = flag.Duration("slo-p99", 0, "p99 latency SLO over all operations (0 = unchecked)")
 		sloP999  = flag.Duration("slo-p999", 0, "p999 latency SLO over all operations (0 = unchecked)")
 		maxErr   = flag.Float64("max-error-rate", 0, "error-rate budget (0 = any error violates)")
+		riskStr  = flag.Bool("risk-stream", false, "subscribe to /v1/risk/stream for the whole run and report subscriber lag and dropped deltas")
 	)
 	flag.Parse()
 	if err := run(*target, *workers, load.Config{
 		Rate: *rate, Sessions: *sessions, Jobs: *jobs, Seed: *seed,
-		Policy: *policy, Model: *model,
+		Policy: *policy, Model: *model, RiskStream: *riskStr,
 	}, load.SLO{P99: *sloP99, P999: *sloP999, MaxErrorRate: *maxErr}); err != nil {
 		fmt.Fprintln(os.Stderr, "riskload:", err)
 		os.Exit(1)
@@ -73,6 +81,10 @@ func run(target string, workers int, cfg load.Config, slo load.SLO) error {
 		return err
 	}
 	fmt.Println(string(out))
+	if rs := res.RiskStream; rs != nil {
+		fmt.Fprintf(os.Stderr, "riskload: risk stream saw %d deltas, %d resyncs, %d dropped, end lag %d (err=%q)\n",
+			rs.Deltas, rs.Resyncs, rs.DroppedSeen, rs.EndLag, rs.StreamError)
+	}
 
 	violations := slo.Check(res)
 	if len(violations) == 0 {

@@ -24,6 +24,15 @@ func TestRiskloadGate(t *testing.T) {
 	}
 }
 
+// -risk-stream rides along without disturbing the gate: the run stays
+// error-free and the probe's stats land in the result.
+func TestRiskloadRiskStream(t *testing.T) {
+	cfg := load.Config{Rate: 200, Sessions: 3, Jobs: 4, Seed: 5, RiskStream: true}
+	if err := run("", 2, cfg, load.SLO{P99: time.Minute}); err != nil {
+		t.Fatalf("risk-stream run: %v", err)
+	}
+}
+
 // A dead target is a run error, not a pile of per-request noise with a
 // zero exit.
 func TestRiskloadDeadTarget(t *testing.T) {

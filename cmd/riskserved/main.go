@@ -10,6 +10,8 @@
 //	GET    /v1/sessions/{id}/journal   the session's JSONL journal
 //	POST   /v1/sessions/{id}/finalize  drain the session and fix the final report
 //	DELETE /v1/sessions/{id}           finalize, return the final report, evict
+//	GET    /v1/risk                    streaming-risk snapshot (per session/policy/cluster/global)
+//	GET    /v1/risk/stream             live risk deltas over SSE (riskwatch consumes this)
 //	GET    /healthz                    liveness + session count
 //	GET    /debug/vars                 expvar counters
 //	GET    /debug/pprof/...            pprof handlers
@@ -55,13 +57,17 @@ func main() {
 		controlURL    = flag.String("control-url", "", "riskctl control-plane base URL; when set, register as a fleet worker")
 		name          = flag.String("name", "", "worker name for control-plane registration (default: the bound address)")
 		advertise     = flag.String("advertise", "", "URL the control plane should reach this worker at (default: http://<bound address>)")
+		riskWindow    = flag.Int("risk-window", 0, "streaming-risk sliding-window size in decisions (0 = default)")
+		riskSubs      = flag.Int("max-risk-subscribers", 0, "maximum concurrent /v1/risk/stream subscribers (0 = default)")
 	)
 	flag.Parse()
 	cfg := serve.Config{
-		MaxSessions:   *maxSessions,
-		MaxConcurrent: *maxConcurrent,
-		IdleTimeout:   *idleTimeout,
-		SweepInterval: *sweepInterval,
+		MaxSessions:        *maxSessions,
+		MaxConcurrent:      *maxConcurrent,
+		IdleTimeout:        *idleTimeout,
+		SweepInterval:      *sweepInterval,
+		RiskWindow:         *riskWindow,
+		MaxRiskSubscribers: *riskSubs,
 	}
 	fleet := fleetConfig{ControlURL: *controlURL, Name: *name, Advertise: *advertise}
 	if err := run(context.Background(), *addr, cfg, fleet, *drainTimeout, os.Stderr, nil); err != nil {

@@ -1,0 +1,336 @@
+// Command riskwatch is a terminal dashboard over the streaming risk
+// surface served by riskserved workers and the riskctl control plane: a
+// live per-policy risk table (events, acceptance, cumulative and
+// sliding-window separate/integrated risk) fed by the /v1/risk/stream SSE
+// feed, with a sparkline trend of each policy's window volatility.
+//
+//	riskwatch -url http://localhost:8080            follow the live stream
+//	riskwatch -url http://localhost:8080 -once      one snapshot, then exit
+//	riskwatch -max-volatility 0.3 -min-performance 0.5 ...
+//
+// The threshold flags turn the watcher into an SLO probe: if any policy's
+// cumulative integrated risk breaches a threshold — volatility above
+// -max-volatility or performance below -min-performance — riskwatch exits
+// nonzero once it stops, so a CI step or cron job can alert on risk drift
+// the same way it alerts on error rates. Follow mode stops on -duration,
+// after -max-events deltas, or when the stream ends; -plain suppresses
+// the ANSI clear between repaints for logs and tests.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/streamrisk"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// options is the parsed flag set.
+type options struct {
+	url       string
+	once      bool
+	plain     bool
+	session   string
+	policy    string
+	duration  time.Duration
+	maxEvents int
+	trendLen  int
+	maxVol    float64
+	minPerf   float64
+}
+
+func parseFlags(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("riskwatch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.url, "url", "http://localhost:8080", "riskserved or riskctl base URL")
+	fs.BoolVar(&o.once, "once", false, "fetch one /v1/risk snapshot, render it, and exit")
+	fs.BoolVar(&o.plain, "plain", false, "append repaints instead of clearing the terminal")
+	fs.StringVar(&o.session, "session", "", "narrow the view to one session ID")
+	fs.StringVar(&o.policy, "policy", "", "narrow the view to one policy")
+	fs.DurationVar(&o.duration, "duration", 0, "stop following after this long (0 = until the stream ends)")
+	fs.IntVar(&o.maxEvents, "max-events", 0, "stop following after this many deltas (0 = unlimited)")
+	fs.IntVar(&o.trendLen, "trend", 32, "sparkline length in deltas")
+	fs.Float64Var(&o.maxVol, "max-volatility", 0, "exit nonzero if a policy's integrated volatility exceeds this (0 = disabled)")
+	fs.Float64Var(&o.minPerf, "min-performance", 0, "exit nonzero if a policy's integrated performance falls below this (0 = disabled)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.trendLen < 2 {
+		o.trendLen = 2
+	}
+	return o, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	o, err := parseFlags(args, stderr)
+	if err != nil {
+		return 2
+	}
+	w := newWatcher(o)
+	if o.once {
+		err = w.once(stdout)
+	} else {
+		err = w.follow(stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "riskwatch:", err)
+		return 2
+	}
+	if len(w.breaches) > 0 {
+		for _, b := range w.breaches {
+			fmt.Fprintln(stderr, "riskwatch: SLO breach:", b)
+		}
+		return 1
+	}
+	return 0
+}
+
+// watcher folds snapshot/delta frames into the rendered state: the global
+// scores, every policy scope, and each policy's recent window-volatility
+// trend.
+type watcher struct {
+	o        options
+	global   streamrisk.Scores
+	policies map[string]streamrisk.Scores
+	trend    map[string][]float64
+	sessions int
+	seq      uint64
+	deltas   int
+	resyncs  int
+	breaches []string
+	breached map[string]bool
+}
+
+func newWatcher(o options) *watcher {
+	return &watcher{
+		o:        o,
+		policies: make(map[string]streamrisk.Scores),
+		trend:    make(map[string][]float64),
+		breached: make(map[string]bool),
+	}
+}
+
+func (w *watcher) query() string {
+	q := ""
+	if w.o.session != "" {
+		q = "?session=" + w.o.session
+	}
+	if w.o.policy != "" {
+		if q == "" {
+			q = "?policy=" + w.o.policy
+		} else {
+			q += "&policy=" + w.o.policy
+		}
+	}
+	return q
+}
+
+// once renders a single pull snapshot.
+func (w *watcher) once(stdout io.Writer) error {
+	resp, err := http.Get(w.o.url + "/v1/risk" + w.query())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET /v1/risk: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var snap streamrisk.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return err
+	}
+	w.applySnapshot(snap)
+	w.render(stdout)
+	return nil
+}
+
+// follow subscribes to the SSE stream and re-renders on every frame.
+func (w *watcher) follow(stdout io.Writer) error {
+	ctx := context.Background()
+	if w.o.duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, w.o.duration)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.o.url+"/v1/risk/stream"+w.query(), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET /v1/risk/stream: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+
+	r := streamrisk.NewEventReader(resp.Body)
+	for {
+		ev, err := r.Next()
+		if err == io.EOF || ctx.Err() != nil {
+			return nil
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // the -duration deadline tore the stream down mid-frame
+			}
+			return err
+		}
+		switch ev.Event {
+		case streamrisk.EventSnapshot, streamrisk.EventResync:
+			var snap streamrisk.Snapshot
+			if err := json.Unmarshal(ev.Data, &snap); err != nil {
+				return err
+			}
+			if ev.Event == streamrisk.EventResync {
+				w.resyncs++
+			}
+			w.applySnapshot(snap)
+		case streamrisk.EventDelta:
+			var d streamrisk.Delta
+			if err := json.Unmarshal(ev.Data, &d); err != nil {
+				return err
+			}
+			w.applyDelta(d)
+		default:
+			continue
+		}
+		w.render(stdout)
+		if w.o.maxEvents > 0 && w.deltas >= w.o.maxEvents {
+			return nil
+		}
+	}
+}
+
+func (w *watcher) applySnapshot(snap streamrisk.Snapshot) {
+	w.seq = snap.Seq
+	w.global = snap.Global
+	w.sessions = len(snap.Sessions)
+	w.policies = make(map[string]streamrisk.Scores, len(snap.Policies))
+	for _, p := range snap.Policies {
+		w.policies[p.Name] = p.Scores
+		w.push(p.Name, p.Scores)
+	}
+	w.check()
+}
+
+func (w *watcher) applyDelta(d streamrisk.Delta) {
+	w.seq = d.Seq
+	w.deltas++
+	w.global = d.Global
+	if w.o.policy == "" || d.Policy == w.o.policy {
+		w.policies[d.Policy] = d.PolicyScores
+		w.push(d.Policy, d.PolicyScores)
+	}
+	w.check()
+}
+
+func (w *watcher) push(policy string, s streamrisk.Scores) {
+	tr := append(w.trend[policy], s.WindowIntegrated.Volatility)
+	if len(tr) > w.o.trendLen {
+		tr = tr[len(tr)-w.o.trendLen:]
+	}
+	w.trend[policy] = tr
+}
+
+// check records threshold breaches, once per (policy, kind).
+func (w *watcher) check() {
+	for name, s := range w.policies {
+		if s.Events == 0 {
+			continue
+		}
+		if w.o.maxVol > 0 && s.Integrated.Volatility > w.o.maxVol {
+			w.breach(name, "volatility", fmt.Sprintf("policy %s integrated volatility %.4f > %.4f", name, s.Integrated.Volatility, w.o.maxVol))
+		}
+		if w.o.minPerf > 0 && s.Integrated.Performance < w.o.minPerf {
+			w.breach(name, "performance", fmt.Sprintf("policy %s integrated performance %.4f < %.4f", name, s.Integrated.Performance, w.o.minPerf))
+		}
+	}
+}
+
+func (w *watcher) breach(policy, kind, msg string) {
+	key := policy + "/" + kind
+	if w.breached[key] {
+		return
+	}
+	w.breached[key] = true
+	w.breaches = append(w.breaches, msg)
+}
+
+// sparkRunes maps a normalized value to eight block heights.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders xs as a fixed-height sparkline, scaled to the series' own
+// min..max (a flat series renders as a low bar).
+func spark(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		i := 0
+		if hi > lo {
+			i = int((x - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// render repaints the dashboard.
+func (w *watcher) render(stdout io.Writer) {
+	if !w.o.plain {
+		fmt.Fprint(stdout, "\x1b[2J\x1b[H")
+	}
+	fmt.Fprintf(stdout, "risk @ seq %d — %d sessions, %d deltas, %d resyncs\n", w.seq, w.sessions, w.deltas, w.resyncs)
+	fmt.Fprintf(stdout, "global: events %d  acc %.3f  perf %.4f  vol %.4f  (win %.4f/%.4f)\n\n",
+		w.global.Events, w.global.AcceptanceRatio,
+		w.global.Integrated.Performance, w.global.Integrated.Volatility,
+		w.global.WindowIntegrated.Performance, w.global.WindowIntegrated.Volatility)
+
+	names := make([]string, 0, len(w.policies))
+	for name := range w.policies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "POLICY\tEVENTS\tACC\tPERF\tVOL\tWIN PERF\tWIN VOL\tTREND")
+	for _, name := range names {
+		s := w.policies[name]
+		mark := ""
+		if w.breached[name+"/volatility"] || w.breached[name+"/performance"] {
+			mark = " !"
+		}
+		fmt.Fprintf(tw, "%s%s\t%d\t%.3f\t%.4f\t%.4f\t%.4f\t%.4f\t%s\n",
+			name, mark, s.Events, s.AcceptanceRatio,
+			s.Integrated.Performance, s.Integrated.Volatility,
+			s.WindowIntegrated.Performance, s.WindowIntegrated.Volatility,
+			spark(w.trend[name]))
+	}
+	tw.Flush()
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/qos"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// seededServer boots an in-process worker with one driven session.
+func seededServer(t *testing.T, finalize bool) (*httptest.Server, *serve.Server, string) {
+	t.Helper()
+	srv := serve.New(serve.Config{RiskWindow: 8})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	id := driveSession(t, ts.URL, 16, 5, finalize)
+	return ts, srv, id
+}
+
+func driveSession(t *testing.T, base string, jobs int, seed int64, finalize bool) string {
+	t.Helper()
+	synth := workload.DefaultSynthConfig()
+	synth.Jobs = jobs
+	trace, err := workload.Generate(synth, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qos.Synthesize(trace, qos.DefaultConfig(seed+1)); err != nil {
+		t.Fatal(err)
+	}
+	var cr serve.CreateSessionResponse
+	postJSON(t, base+"/v1/sessions", serve.CreateSessionRequest{Policy: "Libra", Model: "commodity"}, &cr)
+	for _, j := range trace {
+		postJSON(t, base+"/v1/sessions/"+cr.ID+"/jobs", serve.SubmitJobRequest{
+			ID: j.ID, Submit: j.Submit, Runtime: j.Runtime, Estimate: j.Estimate,
+			Procs: j.Procs, Deadline: j.Deadline, Budget: j.Budget,
+			PenaltyRate: j.PenaltyRate, HighUrgency: j.HighUrgency,
+		}, nil)
+	}
+	if finalize {
+		postJSON(t, base+"/v1/sessions/"+cr.ID+"/finalize", struct{}{}, nil)
+	}
+	return cr.ID
+}
+
+func postJSON(t *testing.T, url string, body, out any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		t.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWatchOnce(t *testing.T) {
+	ts, _, id := seededServer(t, true)
+	var out, errb bytes.Buffer
+	code := run([]string{"-once", "-plain", "-url", ts.URL}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"POLICY", "Libra", "global:", "1 sessions"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	_ = id
+}
+
+func TestWatchOnceSessionFilter(t *testing.T) {
+	ts, _, id := seededServer(t, true)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-once", "-plain", "-url", ts.URL, "-session", id}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if code := run([]string{"-once", "-plain", "-url", ts.URL, "-session", "nope"}, &out, &errb); code != 0 {
+		t.Fatalf("unknown session should still render (empty): exit %d: %s", code, errb.String())
+	}
+}
+
+// Breached thresholds exit 1 and name the offending policy: performance is
+// bounded by 1, so -min-performance 2 must always trip once events exist.
+func TestWatchThresholdExitNonzero(t *testing.T) {
+	ts, _, _ := seededServer(t, true)
+	var out, errb bytes.Buffer
+	code := run([]string{"-once", "-plain", "-url", ts.URL, "-min-performance", "2"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "SLO breach") || !strings.Contains(errb.String(), "Libra") {
+		t.Fatalf("stderr missing breach report: %s", errb.String())
+	}
+}
+
+// Follow mode over the live stream: deltas arrive while jobs are being
+// submitted, the dashboard repaints, and -max-events stops it cleanly.
+func TestWatchFollowLiveDeltas(t *testing.T) {
+	srv := serve.New(serve.Config{RiskWindow: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const events = 6
+	var out, errb bytes.Buffer
+	var wg sync.WaitGroup
+	wg.Add(1)
+	codec := make(chan int, 1)
+	go func() {
+		defer wg.Done()
+		codec <- run([]string{"-plain", "-url", ts.URL, "-max-events", "6", "-duration", "20s"}, &out, &errb)
+	}()
+
+	// Give the subscriber a moment to anchor, then generate the deltas.
+	time.Sleep(100 * time.Millisecond) //lint:allow wallclock — real-time pause for the live subscriber to anchor
+	driveSession(t, ts.URL, events, 9, false)
+	wg.Wait()
+	if code := <-codec; code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "Libra") || !strings.Contains(got, "6 deltas") {
+		t.Errorf("follow output missing live state:\n%s", got)
+	}
+	// The trend sparkline appears once deltas accumulate.
+	if !strings.ContainsAny(got, "▁▂▃▄▅▆▇█") {
+		t.Errorf("follow output missing sparkline:\n%s", got)
+	}
+}
+
+func TestWatchFollowDurationStopsWithoutTraffic(t *testing.T) {
+	ts, _, _ := seededServer(t, true)
+	var out, errb bytes.Buffer
+	code := run([]string{"-plain", "-url", ts.URL, "-duration", "300ms"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Libra") {
+		t.Errorf("snapshot frame not rendered:\n%s", out.String())
+	}
+}
+
+func TestWatchBadURL(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-once", "-url", "http://127.0.0.1:1", "-plain"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if code := run([]string{"-bogus-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if got := spark(nil); got != "" {
+		t.Fatalf("spark(nil) = %q", got)
+	}
+	if got := spark([]float64{1, 1, 1}); got != "▁▁▁" {
+		t.Fatalf("flat series: %q", got)
+	}
+	if got := spark([]float64{0, 0.5, 1}); got != "▁▄█" {
+		t.Fatalf("ramp: %q", got)
+	}
+}

@@ -19,8 +19,8 @@ import (
 // unexported helpers are covered transitively through whoever exports them.
 var detflowAnalyzer = &Analyzer{
 	Name:  "detflow",
-	Doc:   "exported sim/cluster/scheduler/broker/experiment API that can transitively reach time.Now or global rand",
-	Match: inPackages("internal/sim", "internal/cluster", "internal/scheduler", "internal/broker", "internal/experiment"),
+	Doc:   "exported sim/cluster/scheduler/broker/experiment/streamrisk API that can transitively reach time.Now or global rand",
+	Match: inPackages("internal/sim", "internal/cluster", "internal/scheduler", "internal/broker", "internal/experiment", "internal/streamrisk"),
 	Run: func(pass *Pass) {
 		prog := pass.Prog
 		if prog == nil {

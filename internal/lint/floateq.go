@@ -6,7 +6,8 @@ import (
 )
 
 // floateqAnalyzer flags == and != between floating-point operands in the
-// numeric packages (internal/metrics, internal/stats, internal/risk).
+// numeric packages (internal/metrics, internal/stats, internal/risk, and
+// the incremental scores in internal/streamrisk).
 // Objective normalization, σ estimation, and ranking all accumulate
 // rounding error, so exact comparison is almost always a latent bug there;
 // the rare intentional identity check (a sentinel, an exact-zero guard on a
@@ -15,7 +16,7 @@ import (
 var floateqAnalyzer = &Analyzer{
 	Name:  "floateq",
 	Doc:   "exact ==/!= on floating-point values in metrics/stats/risk; compare with a tolerance",
-	Match: inPackages("internal/metrics", "internal/stats", "internal/risk"),
+	Match: inPackages("internal/metrics", "internal/stats", "internal/risk", "internal/streamrisk"),
 	Run: func(pass *Pass) {
 		for _, f := range pass.Pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {

@@ -7,17 +7,18 @@ import (
 )
 
 // lockflowAnalyzer checks mutex discipline in the service layer
-// (internal/serve), where a held lock sits on the request path of every
-// admission decision:
+// (internal/serve) and the streaming risk engine (internal/streamrisk),
+// where a held lock sits on the request path of every admission decision:
 //
 //   - every Lock/RLock in a function body has a matching Unlock/RUnlock in
 //     the same body — either deferred or on the straight-line path — so no
 //     exit leaks the lock;
 //   - no return statement executes between an explicit Lock and its
 //     Unlock (use defer for early-return functions);
-//   - while a session-shard mutex (the `shard` struct's) is held, no
-//     journal/network I/O and no channel send may run — both can block for
-//     unbounded time and would stall every session hashing to the shard.
+//   - while a hot mutex is held — the session-shard struct's (`shard`) or
+//     the streaming risk engine's (`Engine`) — no journal/network I/O and
+//     no channel send may run: both can block for unbounded time and would
+//     stall every session behind the mutex.
 //
 // The analysis is lexical per function body (function literals are
 // separate scopes): it pairs each Lock with the next Unlock of the same
@@ -27,8 +28,8 @@ import (
 // point: such shapes don't belong on the request path.
 var lockflowAnalyzer = &Analyzer{
 	Name:  "lockflow",
-	Doc:   "Lock without Unlock on all paths, return while holding, or blocking work under a shard mutex",
-	Match: inPackages("internal/serve"),
+	Doc:   "Lock without Unlock on all paths, return while holding, or blocking work under a hot mutex",
+	Match: inPackages("internal/serve", "internal/streamrisk"),
 	Run: func(pass *Pass) {
 		for _, f := range pass.Pkg.Files {
 			for _, d := range f.Decls {
@@ -60,10 +61,10 @@ func lockScopes(fd *ast.FuncDecl) []*ast.BlockStmt {
 
 // lockOp is one mutex operation found in a scope.
 type lockOp struct {
-	pos   token.Pos
-	key   string // receiver expression, e.g. "sh.mu"
-	name  string // Lock, Unlock, RLock, RUnlock
-	shard bool   // receiver is a field of the session-shard struct
+	pos  token.Pos
+	key  string // receiver expression, e.g. "sh.mu"
+	name string // Lock, Unlock, RLock, RUnlock
+	hot  bool   // receiver is a field of a hot struct (shard, Engine)
 }
 
 // checkLockScope runs the lexical pairing over one scope, skipping nested
@@ -148,20 +149,20 @@ func checkLockScope(pass *Pass, body *ast.BlockStmt) {
 					op.key, pass.Pkg.Fset.Position(op.pos).Line, op.key, unlockName(op.name))
 			}
 		}
-		if !op.shard {
+		if !op.hot {
 			continue
 		}
 		for _, s := range sends {
 			if op.pos < s && s < end {
 				pass.Reportf(s,
-					"channel send while holding shard mutex %s; a full channel would stall every session on the shard — release first",
+					"channel send while holding hot mutex %s; a full channel would stall every session behind it — release first",
 					op.key)
 			}
 		}
 		for _, io := range ios {
 			if op.pos < io.pos && io.pos < end {
 				pass.Reportf(io.pos,
-					"%s while holding shard mutex %s; journal/network I/O can block for unbounded time — copy under the lock, write outside it",
+					"%s while holding hot mutex %s; journal/network I/O can block for unbounded time — copy under the lock, write outside it",
 					io.desc, op.key)
 			}
 		}
@@ -185,10 +186,10 @@ func mutexOp(pkg *Package, call *ast.CallExpr) (lockOp, bool) {
 		return lockOp{}, false
 	}
 	return lockOp{
-		pos:   call.Pos(),
-		key:   types.ExprString(sel.X),
-		name:  fn.Name(),
-		shard: isShardField(pkg, sel.X),
+		pos:  call.Pos(),
+		key:  types.ExprString(sel.X),
+		name: fn.Name(),
+		hot:  isHotMutex(pkg, sel.X),
 	}, true
 }
 
@@ -210,10 +211,13 @@ func unlockName(lockName string) string {
 	return "Unlock"
 }
 
-// isShardField reports whether the mutex expression is a field of the
-// store's session-shard struct (`sh.mu` where sh is a *shard) — the mutex
-// whose hold time gates every session hashing to the shard.
-func isShardField(pkg *Package, e ast.Expr) bool {
+// isHotMutex reports whether the mutex expression is a field of a struct
+// whose hold time gates every session behind it: the store's session
+// shard (`sh.mu` where sh is a *shard) or the streaming risk engine
+// (`e.mu` where e is a *Engine) — the engine's fold runs on the serve
+// request path under the owning session's mutex, so anything blocking
+// under it stalls admission.
+func isHotMutex(pkg *Package, e ast.Expr) bool {
 	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
 	if !ok {
 		return false
@@ -226,7 +230,14 @@ func isShardField(pkg *Package, e ast.Expr) bool {
 		t = pt.Elem()
 	}
 	named, ok := t.(*types.Named)
-	return ok && named.Obj().Name() == "shard"
+	if !ok {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "shard", "Engine":
+		return true
+	}
+	return false
 }
 
 // blockingCall describes a call that performs journal or network I/O (""

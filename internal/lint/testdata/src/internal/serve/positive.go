@@ -31,13 +31,13 @@ func ReturnsWhileHeld(sh *shard, flag bool) {
 // SendsUnderShard performs a channel send while holding the shard mutex.
 func SendsUnderShard(sh *shard) {
 	sh.mu.Lock()
-	sh.out <- 1 // want lockflow "channel send while holding shard mutex"
+	sh.out <- 1 // want lockflow "channel send while holding hot mutex"
 	sh.mu.Unlock()
 }
 
 // WritesUnderShard performs I/O while holding the shard mutex.
 func WritesUnderShard(sh *shard, w io.Writer) {
 	sh.mu.Lock()
-	w.Write(nil) // want lockflow "Write while holding shard mutex"
+	w.Write(nil) // want lockflow "Write while holding hot mutex"
 	sh.mu.Unlock()
 }

@@ -153,6 +153,138 @@ func TestRunAgainstSelfHostedTopology(t *testing.T) {
 	}
 }
 
+// The risk-stream probe rides a real run: it anchors on one snapshot,
+// counts the deltas the fan-out delivered, and settles its end-of-run lag
+// against the pull endpoint. The engine's final sequence is exactly the
+// ingested event count — jobs decisions plus one final per session —
+// and, absent resyncs, delivered + dropped + lag must account for every
+// sequence number.
+func TestRunRiskStreamProbe(t *testing.T) {
+	url, shutdown, err := SelfHost(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	cfg := Config{Target: url, Rate: 200, Sessions: 4, Jobs: 6, Seed: 11, RiskStream: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("load run had %d errors (of %d requests)", res.Errors, res.Requests)
+	}
+	rs := res.RiskStream
+	if rs == nil {
+		t.Fatal("RiskStream stats missing from result")
+	}
+	if rs.StreamError != "" {
+		t.Fatalf("stream error: %s", rs.StreamError)
+	}
+	if rs.Snapshots != 1 {
+		t.Errorf("snapshots = %d, want exactly the anchor", rs.Snapshots)
+	}
+	want := uint64(cfg.Sessions * (cfg.Jobs + 1))
+	if rs.EndSeq != want {
+		t.Errorf("end seq = %d, want %d (every decision + final)", rs.EndSeq, want)
+	}
+	if rs.LastSeq > rs.EndSeq {
+		t.Errorf("last streamed seq %d beyond engine seq %d", rs.LastSeq, rs.EndSeq)
+	}
+	if rs.Deltas == 0 {
+		t.Error("no deltas delivered to a live subscriber")
+	}
+	if rs.Resyncs == 0 {
+		// Without resync re-anchoring, the sequence space is fully
+		// accounted for: delivered, demonstrably dropped, or still pending
+		// at shutdown.
+		if got := rs.Deltas + rs.DroppedSeen + int64(rs.EndLag); got != int64(rs.EndSeq) {
+			t.Errorf("delivered %d + dropped %d + lag %d = %d, want %d",
+				rs.Deltas, rs.DroppedSeen, rs.EndLag, got, rs.EndSeq)
+		}
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Errorf("result does not serialize: %v", err)
+	}
+}
+
+// A dead target surfaces in the probe's StreamError instead of hanging
+// the run, and a run without the flag reports no stream section at all.
+func TestRiskStreamProbeErrorPaths(t *testing.T) {
+	res, err := Run(Config{Target: "http://127.0.0.1:1", Rate: 500, Sessions: 2, Jobs: 2, RiskStream: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RiskStream == nil || res.RiskStream.StreamError == "" {
+		t.Fatalf("dead target: probe stats %+v, want a stream error", res.RiskStream)
+	}
+
+	res, err = Run(Config{Target: "http://127.0.0.1:1", Rate: 500, Sessions: 2, Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RiskStream != nil {
+		t.Errorf("probe stats present without the flag: %+v", res.RiskStream)
+	}
+}
+
+// Probe-level error paths against a scripted server: a refusing stream
+// endpoint, malformed snapshot and delta frames, and a settle endpoint
+// that answers garbage. Each must surface as StreamError, never a hang.
+func TestRiskProbeScriptedFailures(t *testing.T) {
+	serve := func(stream func(w http.ResponseWriter), risk string) *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/v1/risk/stream", func(w http.ResponseWriter, r *http.Request) { stream(w) })
+		mux.HandleFunc("/v1/risk", func(w http.ResponseWriter, r *http.Request) { w.Write([]byte(risk)) })
+		return httptest.NewServer(mux)
+	}
+	// Every scripted stream terminates the probe goroutine on its own;
+	// wait for its result before finish so the cancel in finish cannot
+	// race the error and suppress it.
+	settled := func(p *riskProbe) *riskProbe {
+		st := <-p.result
+		p.result <- st
+		return p
+	}
+
+	srv := serve(func(w http.ResponseWriter) { w.WriteHeader(http.StatusTeapot) }, `{"seq":5}`)
+	st := settled(startRiskProbe(srv.URL)).finish(srv.Client(), srv.URL)
+	srv.Close()
+	if st.StreamError != "status 418" {
+		t.Errorf("teapot stream: error %q, want status 418", st.StreamError)
+	}
+	if st.EndSeq != 5 || st.EndLag != 5 {
+		t.Errorf("teapot stream settle: %+v, want EndSeq 5 lag 5", st)
+	}
+
+	srv = serve(func(w http.ResponseWriter) {
+		w.Write([]byte("event: snapshot\ndata: {not json}\n\n"))
+	}, `{"seq":0}`)
+	st = settled(startRiskProbe(srv.URL)).finish(srv.Client(), srv.URL)
+	srv.Close()
+	if st.StreamError == "" || st.Snapshots != 0 {
+		t.Errorf("malformed snapshot: %+v, want a decode error before counting", st)
+	}
+
+	srv = serve(func(w http.ResponseWriter) {
+		w.Write([]byte("event: snapshot\ndata: {\"seq\":1}\n\nevent: delta\ndata: {bad}\n\n"))
+	}, `{"seq":1}`)
+	st = settled(startRiskProbe(srv.URL)).finish(srv.Client(), srv.URL)
+	srv.Close()
+	if st.StreamError == "" || st.Snapshots != 1 || st.Deltas != 0 {
+		t.Errorf("malformed delta: %+v, want snapshot counted then a decode error", st)
+	}
+
+	srv = serve(func(w http.ResponseWriter) {
+		w.Write([]byte("event: snapshot\ndata: {\"seq\":2}\n\n"))
+	}, `not json`)
+	st = settled(startRiskProbe(srv.URL)).finish(srv.Client(), srv.URL)
+	srv.Close()
+	if st.StreamError == "" || st.EndSeq != 0 {
+		t.Errorf("garbage settle: %+v, want a decode error and no EndSeq", st)
+	}
+}
+
 func TestSelfHostValidation(t *testing.T) {
 	if _, _, err := SelfHost(0); err == nil {
 		t.Error("SelfHost(0) succeeded")

@@ -35,6 +35,10 @@ type Config struct {
 	Model  string
 	// Client issues the requests (default: 30s overall timeout).
 	Client *http.Client
+	// RiskStream, when set, keeps one /v1/risk/stream SSE subscriber open
+	// for the whole run and reports what it saw (deltas, resyncs, dropped
+	// deltas observed as sequence gaps, end-of-run lag) in the Result.
+	RiskStream bool
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +89,9 @@ type Result struct {
 	DurationSeconds float64            `json:"duration_seconds"`
 	Throughput      float64            `json:"requests_per_second"`
 	Latency         map[string]OpStats `json:"latency"`
+	// RiskStream is the risk-stream subscriber probe's summary, present
+	// only when Config.RiskStream was set.
+	RiskStream *RiskStreamStats `json:"risk_stream,omitempty"`
 }
 
 // SLO is a latency/error-budget gate over a Result's "all" operation
@@ -145,6 +152,10 @@ func Run(cfg Config) (Result, error) {
 	r := &runner{cfg: cfg, hists: map[string]*Histogram{
 		"create": {}, "submit": {}, "finalize": {}, "all": {},
 	}}
+	var probe *riskProbe
+	if cfg.RiskStream {
+		probe = startRiskProbe(cfg.Target)
+	}
 	var late atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now() //lint:allow wallclock — the load generator schedules real arrivals and measures real latency
@@ -166,11 +177,18 @@ func Run(cfg Config) (Result, error) {
 	wg.Wait()
 	elapsed := time.Since(start) //lint:allow wallclock — run duration is a reported measurement
 
+	var streamStats *RiskStreamStats
+	if probe != nil {
+		st := probe.finish(cfg.Client, cfg.Target)
+		streamStats = &st
+	}
+
 	res := Result{
 		Target: cfg.Target, Sessions: cfg.Sessions, JobsPerSession: cfg.Jobs,
 		Requests: r.reqs.Load(), Errors: r.errs.Load(), LateStarts: late.Load(),
 		DurationSeconds: elapsed.Seconds(),
 		Latency:         make(map[string]OpStats, len(r.hists)),
+		RiskStream:      streamStats,
 	}
 	if res.DurationSeconds > 0 {
 		res.Throughput = float64(res.Requests) / res.DurationSeconds

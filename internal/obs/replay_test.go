@@ -79,6 +79,13 @@ func TestParseSessionJournalRejectsMalformed(t *testing.T) {
 		{"second final", header + "\n" + final + "\n" + final + "\n", "second final"},
 		{"unknown kind", header + "\n" + `{"kind":"gossip"}` + "\n", "unknown kind"},
 		{"not json", header + "\n" + "not json\n", "line 2"},
+		// The incremental-consumption cases: streamrisk tails journals as
+		// they grow, so a capture cut mid-write must fail with the exact
+		// line, not parse as a shorter-but-valid session.
+		{"truncated final line", header + "\n" + decision + "\n" + final[:len(final)-9], "line 3"},
+		{"truncated decision line", header + "\n" + decision[:len(decision)/2] + "\n", "line 2"},
+		{"interleaved garbage", header + "\n" + decision + "\n" + "<<torn write>>\n" + decision + "\n", "line 3"},
+		{"duplicate header mid-journal", header + "\n" + decision + "\n" + header + "\n", "header after line 1"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -64,29 +64,59 @@ type SessionFinal struct {
 // A SessionJournal is not safe for concurrent use; the serve layer guards
 // it with the owning session's mutex.
 type SessionJournal struct {
-	buf bytes.Buffer
-	err error // first marshal/append error, reported by Err
+	buf    bytes.Buffer
+	header SessionHeader
+	obs    SessionObserver
+	err    error // first marshal/append error, reported by Err
+}
+
+// SessionObserver receives journal events synchronously as they are
+// appended, in journal order — the subscription hook the streaming risk
+// engine (internal/streamrisk) ingests from. Callbacks run under whatever
+// lock guards the journal (the owning session's mutex in the serve layer),
+// so implementations must be fast and must never call back into the
+// journal or its owner.
+type SessionObserver interface {
+	// JournalDecision is called after each decision line is appended, with
+	// the journal's header and the line as written (Kind stamped).
+	JournalDecision(h SessionHeader, d SessionDecision)
+	// JournalFinal is called after the final report line is appended.
+	JournalFinal(h SessionHeader, r metrics.Report)
 }
 
 // NewSessionJournal starts a journal with its header line. The Kind field
 // is stamped; callers fill the rest.
 func NewSessionJournal(h SessionHeader) *SessionJournal {
-	j := &SessionJournal{}
 	h.Kind = "session"
+	j := &SessionJournal{header: h}
 	j.appendLine(h)
 	return j
 }
+
+// Header returns the journal's header line as written.
+func (j *SessionJournal) Header() SessionHeader { return j.header }
+
+// Observe attaches the observer (nil detaches). Events already journaled
+// are not replayed; callers that need history feed the parsed record to the
+// observer first (see serve's session import).
+func (j *SessionJournal) Observe(o SessionObserver) { j.obs = o }
 
 // Decision appends one submission's decision line. The Kind field is
 // stamped.
 func (j *SessionJournal) Decision(d SessionDecision) {
 	d.Kind = "decision"
 	j.appendLine(d)
+	if j.obs != nil {
+		j.obs.JournalDecision(j.header, d)
+	}
 }
 
 // Final appends the finalized report line. The Kind field is stamped.
 func (j *SessionJournal) Final(r metrics.Report) {
 	j.appendLine(SessionFinal{Kind: "final", Report: r})
+	if j.obs != nil {
+		j.obs.JournalFinal(j.header, r)
+	}
 }
 
 func (j *SessionJournal) appendLine(v any) {

@@ -65,6 +65,58 @@ func TestSessionJournalDeterministicBytes(t *testing.T) {
 	}
 }
 
+// recordingObserver captures the observer callbacks in order.
+type recordingObserver struct {
+	headers   []SessionHeader
+	decisions []SessionDecision
+	finals    []metrics.Report
+}
+
+func (o *recordingObserver) JournalDecision(h SessionHeader, d SessionDecision) {
+	o.headers = append(o.headers, h)
+	o.decisions = append(o.decisions, d)
+}
+
+func (o *recordingObserver) JournalFinal(h SessionHeader, r metrics.Report) {
+	o.headers = append(o.headers, h)
+	o.finals = append(o.finals, r)
+}
+
+func TestSessionJournalObserver(t *testing.T) {
+	j := NewSessionJournal(SessionHeader{ID: "s-9", Policy: "Libra"})
+	if got := j.Header(); got.ID != "s-9" || got.Kind != "session" {
+		t.Fatalf("Header() = %+v, want stamped kind and id s-9", got)
+	}
+
+	rec := &recordingObserver{}
+	j.Decision(SessionDecision{Job: 1, Admission: "accepted", Quote: 10}) // before attach: not observed
+	j.Observe(rec)
+	j.Decision(SessionDecision{Job: 2, Admission: "rejected"})
+	j.Final(metrics.Report{Submitted: 2, Accepted: 1})
+
+	if len(rec.decisions) != 1 || rec.decisions[0].Job != 2 {
+		t.Fatalf("observed decisions %+v, want exactly job 2", rec.decisions)
+	}
+	if rec.decisions[0].Kind != "decision" {
+		t.Errorf("observer saw unstamped decision kind %q", rec.decisions[0].Kind)
+	}
+	if len(rec.finals) != 1 || rec.finals[0].Submitted != 2 {
+		t.Fatalf("observed finals %+v, want the report", rec.finals)
+	}
+	for i, h := range rec.headers {
+		if h.ID != "s-9" {
+			t.Errorf("callback %d header id %q, want s-9", i, h.ID)
+		}
+	}
+
+	// Detach: further events are silent.
+	j.Observe(nil)
+	j.Decision(SessionDecision{Job: 3})
+	if len(rec.decisions) != 1 {
+		t.Errorf("detached observer still received events")
+	}
+}
+
 func TestSessionJournalMarshalError(t *testing.T) {
 	j := NewSessionJournal(SessionHeader{ID: "s-1"})
 	before := len(j.Bytes())

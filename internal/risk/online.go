@@ -1,0 +1,70 @@
+package risk
+
+import "math"
+
+// This file exposes the scoring formulas of analysis.go as streaming
+// kernels, so internal/streamrisk can compute live scores without copying
+// the formulas. ScoreSums replays the exact operation order of
+// stats.Mean/stats.StdDev (and therefore Separate), and IntegrateEqual the
+// exact accumulation order of Integrate under EqualWeights — making the
+// incremental cumulative scores bit-identical to the offline computation,
+// an invariant pinned by TestScoreSumsBitIdenticalToSeparate and the
+// streamrisk differential battery.
+
+// ScoreSums holds the streaming sufficient statistics behind the separate
+// risk analysis (Eqs. 5–6): sample count, sum, and sum of squares, updated
+// in arrival order.
+type ScoreSums struct {
+	N     int64   `json:"n"`
+	Sum   float64 `json:"sum"`
+	SumSq float64 `json:"sum_sq"`
+}
+
+// Add folds one normalized result into the sums.
+func (s *ScoreSums) Add(x float64) {
+	s.N++
+	s.Sum += x
+	s.SumSq += x * x
+}
+
+// Point computes the separate risk point from the sums. For samples added
+// in slice order this is bit-identical to Separate on the materialized
+// slice: stats.Mean is a left-to-right sum divided once, and stats.StdDev
+// is sqrt(sumsq/n − mean²) with the same <2-sample and negative-variance
+// guards replicated here.
+func (s ScoreSums) Point() Point {
+	if s.N == 0 {
+		return Point{}
+	}
+	n := float64(s.N)
+	p := Point{Performance: s.Sum / n}
+	if s.N < 2 {
+		return p
+	}
+	v := s.SumSq/n - p.Performance*p.Performance
+	if v < 0 { // floating point guard, as in stats.StdDev
+		v = 0
+	}
+	p.Volatility = math.Sqrt(v)
+	return p
+}
+
+// IntegrateEqual computes the integrated risk point (Eqs. 7–8) under the
+// paper's equal weighting, accumulating in slice order. For points ordered
+// by ascending objective this is bit-identical to
+// Integrate(points, EqualWeights(objs)): the weight is the same 1/len
+// division, and the multiply-add sequence is the same. Unlike Integrate it
+// has no error path — an empty slice yields the zero point — so it is safe
+// on allocation-free hot paths.
+func IntegrateEqual(points []Point) Point {
+	if len(points) == 0 {
+		return Point{}
+	}
+	w := 1 / float64(len(points))
+	var out Point
+	for _, p := range points {
+		out.Performance += w * p.Performance
+		out.Volatility += w * p.Volatility
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package risk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// pointBitsEqual compares two points bit for bit — stricter than ==, which
+// would conflate 0 and −0 and reject equal NaNs.
+func pointBitsEqual(a, b Point) bool {
+	return math.Float64bits(a.Performance) == math.Float64bits(b.Performance) &&
+		math.Float64bits(a.Volatility) == math.Float64bits(b.Volatility)
+}
+
+func TestScoreSumsBitIdenticalToSeparate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		xs := make([]float64, n)
+		var s ScoreSums
+		for i := range xs {
+			xs[i] = rng.Float64()
+			s.Add(xs[i])
+		}
+		want, err := Separate(xs)
+		if err != nil {
+			t.Fatalf("trial %d: Separate: %v", trial, err)
+		}
+		if got := s.Point(); !pointBitsEqual(got, want) {
+			t.Fatalf("trial %d (n=%d): ScoreSums.Point = %#v, Separate = %#v — not bit-identical",
+				trial, n, got, want)
+		}
+	}
+}
+
+func TestScoreSumsGuards(t *testing.T) {
+	var s ScoreSums
+	if got := s.Point(); got != (Point{}) {
+		t.Fatalf("empty Point = %#v, want zero", got)
+	}
+	s.Add(0.5)
+	if got := s.Point(); got.Performance != 0.5 || got.Volatility != 0 {
+		t.Fatalf("single-sample Point = %#v, want {0.5 0}", got)
+	}
+	// Identical samples: v = sumsq/n − mean² can round to a tiny negative;
+	// the guard must keep Volatility finite and non-negative.
+	var id ScoreSums
+	for i := 0; i < 7; i++ {
+		id.Add(0.1)
+	}
+	if got := id.Point(); math.IsNaN(got.Volatility) || got.Volatility < 0 {
+		t.Fatalf("identical-sample Volatility = %v, want >= 0", got.Volatility)
+	}
+}
+
+func TestIntegrateEqualBitIdenticalToIntegrate(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		for _, k := range []int{1, 2, 3, 4} {
+			objs := make([]Objective, k)
+			pts := make(map[Objective]Point, k)
+			ordered := make([]Point, k)
+			for i := 0; i < k; i++ {
+				objs[i] = Objective(i)
+				p := Point{Performance: rng.Float64(), Volatility: rng.Float64()}
+				pts[objs[i]] = p
+				ordered[i] = p
+			}
+			want, err := Integrate(pts, EqualWeights(objs))
+			if err != nil {
+				t.Fatalf("Integrate: %v", err)
+			}
+			if got := IntegrateEqual(ordered); !pointBitsEqual(got, want) {
+				t.Fatalf("trial %d k=%d: IntegrateEqual = %#v, Integrate = %#v — not bit-identical",
+					trial, k, got, want)
+			}
+		}
+	}
+}
+
+func TestIntegrateEqualEmpty(t *testing.T) {
+	if got := IntegrateEqual(nil); got != (Point{}) {
+		t.Fatalf("IntegrateEqual(nil) = %#v, want zero", got)
+	}
+}

@@ -107,8 +107,10 @@ func (p *Plane) handleCreate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadGateway, "worker %s produced an unparseable journal: %v", owner, err)
 			return
 		}
+		shadow := obs.NewSessionJournal(rec.Header)
+		shadow.Observe(p.risk)
 		p.mu.Lock()
-		p.routes[id] = &route{id: id, worker: owner, shadow: obs.NewSessionJournal(rec.Header)}
+		p.routes[id] = &route{id: id, worker: owner, shadow: shadow}
 		p.mu.Unlock()
 		p.vars.sessionsCreated.Add(1)
 		proxy(w, st, out)
@@ -244,6 +246,7 @@ func (p *Plane) handleDelete(w http.ResponseWriter, r *http.Request) {
 		p.mu.Lock()
 		delete(p.routes, rt.id)
 		p.mu.Unlock()
+		p.risk.ForgetSession(rt.id)
 	}
 	proxy(w, st, out)
 }

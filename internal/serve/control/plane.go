@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/serve/ring"
+	"repro/internal/streamrisk"
 )
 
 // Config parameterizes the control plane.
@@ -26,6 +27,12 @@ type Config struct {
 	// ProbeFailures is how many consecutive failed health probes declare a
 	// worker dead (default 2).
 	ProbeFailures int
+	// RiskWindow is the fleet risk engine's sliding-window size in decisions
+	// (streamrisk.DefaultWindow if 0).
+	RiskWindow int
+	// MaxRiskSubscribers bounds concurrent /v1/risk/stream subscribers
+	// (streamrisk.DefaultMaxSubscribers if 0).
+	MaxRiskSubscribers int
 }
 
 func (c Config) withDefaults() Config {
@@ -67,11 +74,14 @@ type route struct {
 }
 
 // Plane is the control plane: the worker registry, the consistent-hash
-// ring, and the session route table.
+// ring, and the session route table. Its streaming risk engine observes
+// every session's shadow journal, so the plane serves the same /v1/risk
+// surface as a worker — fleet-wide, across migrations and recoveries.
 type Plane struct {
 	cfg  Config
 	vars *counters
 	mux  *http.ServeMux
+	risk *streamrisk.Engine
 
 	nextID atomic.Int64
 
@@ -88,6 +98,7 @@ func New(cfg Config) *Plane {
 		cfg:     cfg,
 		vars:    publishVars(),
 		mux:     http.NewServeMux(),
+		risk:    streamrisk.NewEngine(streamrisk.Config{Window: cfg.RiskWindow, MaxSubscribers: cfg.MaxRiskSubscribers}),
 		ring:    ring.New(cfg.Replicas),
 		workers: make(map[string]*worker),
 		routes:  make(map[string]*route),
@@ -104,11 +115,16 @@ func New(cfg Config) *Plane {
 	p.mux.HandleFunc("GET /v1/sessions/{id}/journal", p.handleProxy)
 	p.mux.HandleFunc("POST /v1/sessions/{id}/finalize", p.handleFinalize)
 	p.mux.HandleFunc("DELETE /v1/sessions/{id}", p.handleDelete)
+	p.mux.HandleFunc("GET /v1/risk", streamrisk.SnapshotHandler(p.risk))
+	p.mux.HandleFunc("GET /v1/risk/stream", streamrisk.StreamHandler(p.risk))
 	return p
 }
 
 // Handler returns the plane's root handler.
 func (p *Plane) Handler() http.Handler { return p.mux }
+
+// Risk exposes the plane's fleet-wide streaming risk engine.
+func (p *Plane) Risk() *streamrisk.Engine { return p.risk }
 
 // Sessions returns the number of routed sessions.
 func (p *Plane) Sessions() int {

@@ -76,7 +76,15 @@ func (s *Server) ImportSession(journal []byte) (string, error) {
 			"serve: replay of session %s diverged from its journal at line %d — refusing to import a session that is not bit-identical to the one exported",
 			rec.Header.ID, firstDiffLine(replayed.Bytes(), journal))
 	}
+	// Catch the streaming risk engine up on the migrated session's verified
+	// history, then attach it for live events — before the insert makes the
+	// session reachable, so no event can slip between replay and attach. An
+	// insert failure forgets the session scope; the aggregate scopes keep
+	// the replayed history (those events really were ingested here).
+	s.stream.IngestRecord(rec)
+	replayed.Observe(s.stream)
 	if _, err := s.store.insert(header.ID, driver, replayed, nextJob, finalLogged); err != nil {
+		s.stream.ForgetSession(header.ID)
 		return "", err
 	}
 	return header.ID, nil

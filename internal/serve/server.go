@@ -19,6 +19,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/risk"
 	"repro/internal/scheduler"
+	"repro/internal/streamrisk"
 	"repro/internal/workload"
 )
 
@@ -39,6 +40,12 @@ type Config struct {
 	// Now overrides the wall clock for tests. Operator accounting only —
 	// simulations run in virtual time regardless.
 	Now func() time.Time
+	// RiskWindow is the streaming risk engine's sliding-window size in
+	// decisions (streamrisk.DefaultWindow if 0).
+	RiskWindow int
+	// MaxRiskSubscribers bounds concurrent /v1/risk/stream subscribers
+	// (streamrisk.DefaultMaxSubscribers if 0).
+	MaxRiskSubscribers int
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +75,7 @@ type Server struct {
 	sem      chan struct{}
 	vars     *counters
 	mux      *http.ServeMux
+	stream   *streamrisk.Engine
 	draining atomic.Bool
 }
 
@@ -75,11 +83,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		store: newStore(cfg.MaxSessions, cfg.Now),
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		vars:  publishVars(),
-		mux:   http.NewServeMux(),
+		cfg:    cfg,
+		store:  newStore(cfg.MaxSessions, cfg.Now),
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		vars:   publishVars(),
+		mux:    http.NewServeMux(),
+		stream: streamrisk.NewEngine(streamrisk.Config{Window: cfg.RiskWindow, MaxSubscribers: cfg.MaxRiskSubscribers}),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
@@ -97,8 +106,18 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /worker/v1/sessions/import", s.limited(s.handleImport))
 	s.mux.Handle("POST /worker/v1/sessions/{id}/release", s.limited(s.handleRelease))
 	s.mux.HandleFunc("POST /worker/v1/drain", s.handleDrain)
+	s.mux.Handle("GET /v1/risk", s.limited(streamrisk.SnapshotHandler(s.stream)))
+	// The SSE route bypasses the request limiter: subscriptions are
+	// long-lived and would pin semaphore slots; the engine bounds them with
+	// MaxRiskSubscribers instead, and a slow consumer only ever drops its
+	// own deltas.
+	s.mux.Handle("GET /v1/risk/stream", streamrisk.StreamHandler(s.stream))
 	return s
 }
+
+// Risk exposes the streaming risk engine (riskload probes and tests
+// subscribe directly; HTTP consumers use /v1/risk and /v1/risk/stream).
+func (s *Server) Risk() *streamrisk.Engine { return s.stream }
 
 // Handler returns the daemon's root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -111,6 +130,9 @@ func (s *Server) Sessions() int { return s.store.size() }
 func (s *Server) SweepIdle() []string {
 	evicted := s.store.sweepIdle(s.cfg.IdleTimeout)
 	s.vars.sessionsEvicted.Add(int64(len(evicted)))
+	for _, id := range evicted {
+		s.stream.ForgetSession(id)
+	}
 	return evicted
 }
 
@@ -241,7 +263,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if header.ID == "" {
 		header.ID = s.store.allocID()
 	}
-	sess, err := s.store.insert(header.ID, driver, obs.NewSessionJournal(header), 1, false)
+	journal := obs.NewSessionJournal(header)
+	journal.Observe(s.stream)
+	sess, err := s.store.insert(header.ID, driver, journal, 1, false)
 	if err != nil {
 		switch {
 		case errors.Is(err, errFull):
@@ -415,6 +439,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Unlock()
 	if s.store.remove(sess.id) {
 		s.vars.sessionsEvicted.Add(1)
+		s.stream.ForgetSession(sess.id)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -477,6 +502,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.vars.sessionsReleased.Add(1)
+	s.stream.ForgetSession(sess.id)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Write(journal) //lint:allow errignore — headers are sent; nothing useful can follow a mid-body failure
 }

@@ -1,0 +1,239 @@
+package streamrisk_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/qos"
+	"repro/internal/scheduler"
+	"repro/internal/streamrisk"
+	"repro/internal/workload"
+)
+
+// The battery window is smaller than the per-session job count so the
+// sliding-window ring wraps several times per session.
+const batteryWindow = 16
+
+type batteryCase struct {
+	policy, model string
+	econ          economy.Model
+}
+
+func tableVCases(t *testing.T) []batteryCase {
+	t.Helper()
+	var cases []batteryCase
+	for _, spec := range scheduler.Specs() {
+		for _, m := range spec.Models {
+			name := "commodity"
+			if m == economy.BidBased {
+				name = "bid"
+			}
+			cases = append(cases, batteryCase{spec.Name, name, m})
+		}
+	}
+	return cases
+}
+
+func testTrace(t *testing.T, jobs int, seed int64) []*workload.Job {
+	t.Helper()
+	synth := workload.DefaultSynthConfig()
+	synth.Jobs = jobs
+	trace, err := workload.Generate(synth, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qos.Synthesize(trace, qos.DefaultConfig(seed+1)); err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// driveJournaled runs one full session — journaling every decision exactly
+// as internal/serve's submit handler does — with the engine attached as the
+// journal's observer, and returns the final journal bytes.
+func driveJournaled(t *testing.T, e *streamrisk.Engine, header obs.SessionHeader, cfg scheduler.RunConfig, policy string, jobs []*workload.Job) []byte {
+	t.Helper()
+	spec, err := scheduler.SpecByName(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver, err := scheduler.NewSession(spec.New, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := obs.NewSessionJournal(header)
+	if e != nil {
+		j.Observe(e)
+	}
+	for _, job := range jobs {
+		d, err := driver.Submit(job)
+		if err != nil {
+			t.Fatalf("submit job %d: %v", job.ID, err)
+		}
+		j.Decision(obs.SessionDecision{
+			Job: job.ID, Submit: job.Submit, Runtime: job.Runtime, Estimate: job.Estimate,
+			Procs: job.Procs, Deadline: job.Deadline, Budget: job.Budget, PenaltyRate: job.PenaltyRate,
+			HighUrgency: job.HighUrgency,
+			Admission:   d.Admission.String(), Quote: d.Quote,
+		})
+	}
+	j.Final(driver.Finalize())
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return j.Bytes()
+}
+
+// sessionScores pulls one session's scope Scores out of an engine snapshot.
+func sessionScores(t *testing.T, e *streamrisk.Engine, id string) streamrisk.Scores {
+	t.Helper()
+	for _, s := range e.Snapshot().Sessions {
+		if s.ID == id {
+			return s.Scores
+		}
+	}
+	t.Fatalf("session %q not in engine snapshot", id)
+	return streamrisk.Scores{}
+}
+
+// requireBitIdentical asserts two Scores agree bit-for-bit: every float64
+// compared by Float64bits via the JSON round-trip (Go's shortest-repr float
+// encoding is injective on bit patterns; NaN would fail the marshal, which
+// is itself a defect worth failing on).
+func requireBitIdentical(t *testing.T, label string, got, want streamrisk.Scores) {
+	t.Helper()
+	gb, err := json.Marshal(got)
+	if err != nil {
+		t.Fatalf("%s: marshaling live scores: %v", label, err)
+	}
+	wb, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("%s: marshaling offline scores: %v", label, err)
+	}
+	if string(gb) != string(wb) {
+		t.Errorf("%s: live scores diverged from offline recomputation:\nlive:    %s\noffline: %s", label, gb, wb)
+		return
+	}
+	// Belt and braces on the headline invariant: cumulative points compare
+	// by raw bits, not just by encoding.
+	for o := 0; o < streamrisk.NumObjectives; o++ {
+		if math.Float64bits(got.Cumulative[o].Performance) != math.Float64bits(want.Cumulative[o].Performance) ||
+			math.Float64bits(got.Cumulative[o].Volatility) != math.Float64bits(want.Cumulative[o].Volatility) {
+			t.Errorf("%s: cumulative[%v] bits diverged: %+v vs %+v", label, streamrisk.Objective(o), got.Cumulative[o], want.Cumulative[o])
+		}
+	}
+	if math.Float64bits(got.Integrated.Performance) != math.Float64bits(want.Integrated.Performance) ||
+		math.Float64bits(got.Integrated.Volatility) != math.Float64bits(want.Integrated.Volatility) {
+		t.Errorf("%s: integrated bits diverged: %+v vs %+v", label, got.Integrated, want.Integrated)
+	}
+}
+
+// The live-vs-offline equivalence battery: across Table V (policy, model)
+// pairs × fault intensities × seeds, an engine observing a session's
+// journal live reports cumulative scores bit-identical to the offline
+// internal/risk computation over the parsed journal — and a second engine
+// that joins mid-stream (journal replay after a kill, then live events)
+// converges to the same bits.
+func TestLiveOfflineEquivalenceBattery(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 6
+	}
+	const jobsPerSession = 40
+	cases := tableVCases(t)
+	intensities := []string{"none", "low", "high"}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		for fi, intensity := range intensities {
+			mc := cases[(int(seed)*len(intensities)+fi)%len(cases)]
+			t.Run(fmt.Sprintf("seed=%d/faults=%s/%s-%s", seed, intensity, mc.policy, mc.model), func(t *testing.T) {
+				jobs := testTrace(t, jobsPerSession, seed)
+				cfg := scheduler.RunConfig{Nodes: 128, Model: mc.econ, BasePrice: economy.DefaultBasePrice}
+				header := obs.SessionHeader{
+					Kind: "session", ID: fmt.Sprintf("battery-%d-%d", seed, fi),
+					Policy: mc.policy, Model: mc.model, Nodes: cfg.Nodes, BasePrice: cfg.BasePrice,
+				}
+				if intensity != "none" {
+					horizon := faults.JobsHorizon(jobs)
+					f := faults.Intensity(intensity).Config(seed, horizon)
+					cfg.Faults = &f
+					header.Seed = seed
+					header.FaultIntensity = intensity
+					header.FaultHorizon = horizon
+				}
+
+				live := streamrisk.NewEngine(streamrisk.Config{Window: batteryWindow})
+				journal := driveJournaled(t, live, header, cfg, mc.policy, workload.CloneAll(jobs))
+
+				rec, err := obs.ParseSessionJournal(journal)
+				if err != nil {
+					t.Fatal(err)
+				}
+				offline, err := streamrisk.OfflineScores(rec, batteryWindow)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireBitIdentical(t, "uninterrupted", sessionScores(t, live, header.ID), offline)
+
+				// Mid-stream join: a fresh engine catches up from the journal
+				// as it stood at a seeded random kill point (how an importing
+				// worker replays a migrated session), then consumes the rest
+				// live. Same bits.
+				rng := rand.New(rand.NewSource(seed * 7919))
+				k := rng.Intn(len(rec.Decisions))
+				joined := streamrisk.NewEngine(streamrisk.Config{Window: batteryWindow})
+				joined.IngestRecord(&obs.SessionRecord{Header: rec.Header, Decisions: rec.Decisions[:k]})
+				for _, d := range rec.Decisions[k:] {
+					joined.JournalDecision(rec.Header, d)
+				}
+				if rec.Final == nil {
+					t.Fatal("journal missing final line")
+				}
+				joined.JournalFinal(rec.Header, rec.Final.Report)
+				requireBitIdentical(t, fmt.Sprintf("kill@%d", k), sessionScores(t, joined, header.ID), offline)
+			})
+		}
+	}
+}
+
+// Aggregate scopes are order-equivalent too: two sessions under one policy,
+// interleaved live, score identically to OfflineSequence over their
+// journals in ingest order.
+func TestPolicyScopeMatchesOfflineSequence(t *testing.T) {
+	cfg := scheduler.RunConfig{Nodes: 128, Model: economy.Commodity, BasePrice: economy.DefaultBasePrice}
+	mkHeader := func(id string) obs.SessionHeader {
+		return obs.SessionHeader{Kind: "session", ID: id, Policy: "Libra", Model: "commodity", Nodes: cfg.Nodes, BasePrice: cfg.BasePrice}
+	}
+	e := streamrisk.NewEngine(streamrisk.Config{Window: batteryWindow})
+	jA := driveJournaled(t, e, mkHeader("seq-a"), cfg, "Libra", testTrace(t, 24, 3))
+	jB := driveJournaled(t, e, mkHeader("seq-b"), cfg, "Libra", testTrace(t, 24, 4))
+
+	recA, err := obs.ParseSessionJournal(jA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recB, err := obs.ParseSessionJournal(jB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := streamrisk.OfflineSequence([]*obs.SessionRecord{recA, recB}, batteryWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := e.Snapshot()
+	if len(snap.Policies) != 1 || snap.Policies[0].Name != "Libra" {
+		t.Fatalf("policies: %+v", snap.Policies)
+	}
+	requireBitIdentical(t, "policy scope", snap.Policies[0].Scores, offline)
+	requireBitIdentical(t, "global scope", snap.Global, offline)
+	if len(snap.Clusters) != 1 {
+		t.Fatalf("clusters: %+v", snap.Clusters)
+	}
+	requireBitIdentical(t, "cluster scope", snap.Clusters[0].Scores, offline)
+}

@@ -1,0 +1,80 @@
+package streamrisk
+
+import (
+	"math"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// Objective indexes one streaming risk objective. The offline analysis
+// scores completed runs on the paper's four objectives; the stream scores
+// individual admission decisions as they happen, so its objectives are the
+// admission-time analogs: did the job get in, how much deadline slack was
+// admitted, and how much of the customer's budget the quote captures.
+type Objective int
+
+const (
+	// Acceptance is 1 for an admitted job (accepted or queued), 0 for a
+	// rejected one — the streaming analog of the paper's SLA-acceptance
+	// objective.
+	Acceptance Objective = iota
+	// DeadlineMargin is the admitted job's normalized deadline slack,
+	// clamp((deadline − estimate)/deadline, 0, 1): the reliability analog —
+	// how much schedule room the service retained when it said yes.
+	DeadlineMargin
+	// BudgetMargin is the admitted job's quote as a fraction of its budget,
+	// clamp(quote/budget, 0, 1): the profitability analog — how much of the
+	// customer's willingness to pay the quote captured.
+	BudgetMargin
+
+	// NumObjectives is the number of streaming objectives.
+	NumObjectives = 3
+)
+
+// String names the objective for dashboards and JSON.
+func (o Objective) String() string {
+	switch o {
+	case Acceptance:
+		return "acceptance"
+	case DeadlineMargin:
+		return "deadline"
+	case BudgetMargin:
+		return "budget"
+	default:
+		return "objective(?)"
+	}
+}
+
+// rejectedAdmission matches scheduler.AdmissionRejected's journal encoding;
+// anything else ("accepted", "queued") admitted the job into service.
+const rejectedAdmission = "rejected"
+
+// DecisionSamples maps one journaled admission decision to its normalized
+// per-objective results in [0,1]. A rejected decision scores 0 on every
+// objective. Non-finite or non-positive denominators (deadline, budget)
+// score their objective 0 rather than poisoning the aggregates — the
+// clamped, NaN-guarded output is what keeps risk.Separate's domain check
+// satisfiable on any journal that parses.
+//
+// This function is the single definition of the stream's sample formulas:
+// the live Engine and the OfflineScores reference both call it, so the
+// differential battery compares aggregation machinery, not formula copies.
+func DecisionSamples(d obs.SessionDecision) [NumObjectives]float64 {
+	var s [NumObjectives]float64
+	if d.Admission == rejectedAdmission {
+		return s
+	}
+	s[Acceptance] = 1
+	if d.Deadline > 0 {
+		if m := (d.Deadline - d.Estimate) / d.Deadline; !math.IsNaN(m) {
+			s[DeadlineMargin] = stats.Clamp(m, 0, 1)
+		}
+	}
+	if d.Budget > 0 {
+		if m := d.Quote / d.Budget; !math.IsNaN(m) {
+			s[BudgetMargin] = stats.Clamp(m, 0, 1)
+		}
+	}
+	return s
+}

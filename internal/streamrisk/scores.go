@@ -1,0 +1,171 @@
+package streamrisk
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/risk"
+	"repro/internal/stats"
+)
+
+// Scores is one scope's live risk view: event counts, settlement sums, the
+// ratios derived from them, and the separate/integrated risk points over
+// both the cumulative stream and the sliding window of the last W
+// decisions. It is a pure value type (fixed-size arrays, no pointers) so
+// deltas can be published by copy without allocating.
+type Scores struct {
+	// Decision-stream counts.
+	Events   int64 `json:"events"`   // decision lines ingested
+	Accepted int64 `json:"accepted"` // admitted (accepted or queued)
+	Rejected int64 `json:"rejected"`
+	Finals   int64 `json:"finals"` // final report lines ingested
+
+	// Settlement sums. Quote/Budget accumulate over the decision stream
+	// (quotes only for admitted jobs); the rest settle from final reports.
+	QuoteSum         float64 `json:"quote_sum"`
+	BudgetSum        float64 `json:"budget_sum"`
+	UtilitySum       float64 `json:"utility_sum"`        // Σ final TotalUtility
+	SettledBudgetSum float64 `json:"settled_budget_sum"` // Σ final TotalBudget
+	SubmittedSum     int64   `json:"submitted_sum"`      // Σ final Submitted
+	FulfilledSum     int64   `json:"fulfilled_sum"`      // Σ final SLAFulfilled
+	KilledSum        int64   `json:"killed_sum"`         // Σ final Killed
+
+	// Ratios derived from the sums; 0 when the denominator is 0.
+	AcceptanceRatio float64 `json:"acceptance_ratio"` // accepted / events
+	BudgetRatio     float64 `json:"budget_ratio"`     // quote_sum / budget_sum
+	UtilityRatio    float64 `json:"utility_ratio"`    // utility_sum / settled_budget_sum
+	DeadlineRatio   float64 `json:"deadline_ratio"`   // fulfilled_sum / submitted_sum
+
+	// Cumulative separate risk per streaming objective (indexed by
+	// Objective) and their equal-weight integration — bit-identical to the
+	// offline internal/risk computation on the same journal.
+	Cumulative [NumObjectives]risk.Point `json:"cumulative"`
+	Integrated risk.Point                `json:"integrated"`
+
+	// Sliding-window scores over the last W decisions (Welford online
+	// mean/stddev — streamable, but not bit-matched to the two-pass form).
+	WindowSize       int                       `json:"window_size"` // samples currently held
+	Window           [NumObjectives]risk.Point `json:"window"`
+	WindowIntegrated risk.Point                `json:"window_integrated"`
+}
+
+// ratio returns num/den with the stream's 0/0 convention.
+func ratio(num, den float64) float64 {
+	if den == 0 { //lint:allow floateq — exact-zero guard: counts and sums start at exactly 0
+		return 0
+	}
+	return num / den
+}
+
+// deriveRatios fills the derived ratio fields from the counts and sums.
+func (s *Scores) deriveRatios() {
+	s.AcceptanceRatio = ratio(float64(s.Accepted), float64(s.Events))
+	s.BudgetRatio = ratio(s.QuoteSum, s.BudgetSum)
+	s.UtilityRatio = ratio(s.UtilitySum, s.SettledBudgetSum)
+	s.DeadlineRatio = ratio(float64(s.FulfilledSum), float64(s.SubmittedSum))
+}
+
+// countDecision folds one decision's counts and sums into s (scores only —
+// the risk points come from the tracker's accumulators).
+func (s *Scores) countDecision(d obs.SessionDecision) {
+	s.Events++
+	if d.Admission == rejectedAdmission {
+		s.Rejected++
+	} else {
+		s.Accepted++
+		s.QuoteSum += d.Quote
+	}
+	s.BudgetSum += d.Budget
+}
+
+// countFinal folds one final report's settlement sums into s.
+func (s *Scores) countFinal(r metrics.Report) {
+	s.Finals++
+	s.UtilitySum += r.TotalUtility
+	s.SettledBudgetSum += r.TotalBudget
+	s.SubmittedSum += int64(r.Submitted)
+	s.FulfilledSum += int64(r.SLAFulfilled)
+	s.KilledSum += int64(r.Killed)
+}
+
+// window is a fixed-capacity ring of per-objective samples: the last W
+// decisions in arrival order. The buffer is allocated once at tracker
+// creation; adds never allocate.
+type window struct {
+	buf    [][NumObjectives]float64
+	n, pos int
+}
+
+func newWindow(capacity int) window {
+	return window{buf: make([][NumObjectives]float64, capacity)} //lint:allow hotalloc — one buffer per scope at creation, never on the per-event path
+}
+
+func (w *window) add(s [NumObjectives]float64) {
+	w.buf[w.pos] = s
+	w.pos++
+	if w.pos == len(w.buf) {
+		w.pos = 0
+	}
+	if w.n < len(w.buf) {
+		w.n++
+	}
+}
+
+// points computes the window's separate risk per objective with a Welford
+// walk oldest→newest — O(W), allocation-free.
+func (w *window) points(out *[NumObjectives]risk.Point) {
+	var acc [NumObjectives]stats.Welford
+	start := w.pos - w.n
+	if start < 0 {
+		start += len(w.buf)
+	}
+	for i := 0; i < w.n; i++ {
+		j := start + i
+		if j >= len(w.buf) {
+			j -= len(w.buf)
+		}
+		for o := 0; o < NumObjectives; o++ {
+			acc[o].Add(w.buf[j][o])
+		}
+	}
+	for o := 0; o < NumObjectives; o++ {
+		out[o] = risk.Point{Performance: acc[o].Mean(), Volatility: acc[o].StdDev()}
+	}
+}
+
+// tracker is one scope's accumulator set: the running counts/sums, the
+// cumulative score sums, and the sliding window.
+type tracker struct {
+	s   Scores
+	cum [NumObjectives]risk.ScoreSums
+	win window
+}
+
+func newTracker(windowSize int) *tracker {
+	return &tracker{win: newWindow(windowSize)} //lint:allow hotalloc — once per scope (session/policy/cluster), not per event
+}
+
+func (t *tracker) decision(d obs.SessionDecision, smp [NumObjectives]float64) {
+	t.s.countDecision(d)
+	for o := 0; o < NumObjectives; o++ {
+		t.cum[o].Add(smp[o])
+	}
+	t.win.add(smp)
+}
+
+func (t *tracker) final(r metrics.Report) {
+	t.s.countFinal(r)
+}
+
+// snapshot materializes the scope's Scores value.
+func (t *tracker) snapshot() Scores {
+	out := t.s
+	out.deriveRatios()
+	for o := 0; o < NumObjectives; o++ {
+		out.Cumulative[o] = t.cum[o].Point()
+	}
+	out.Integrated = risk.IntegrateEqual(out.Cumulative[:])
+	out.WindowSize = t.win.n
+	t.win.points(&out.Window)
+	out.WindowIntegrated = risk.IntegrateEqual(out.Window[:])
+	return out
+}

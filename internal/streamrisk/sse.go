@@ -1,0 +1,216 @@
+package streamrisk
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// The SSE protocol both risk daemons speak (riskserved per worker, riskctl
+// fleet-wide), and riskwatch/riskload consume:
+//
+//	event: snapshot   data: Snapshot   — once, immediately on subscribe
+//	event: delta      data: Delta      — per ingested journal event
+//	event: resync     data: Snapshot   — after deltas were dropped on this
+//	                                     subscriber's full buffer
+//
+// Consumers anchor on the latest snapshot/resync and discard any delta
+// with Seq ≤ that anchor's Seq (publishes racing the subscribe can deliver
+// duplicates below the anchor; nothing above it is ever silently lost).
+
+// SSE event names.
+const (
+	EventSnapshot = "snapshot"
+	EventDelta    = "delta"
+	EventResync   = "resync"
+)
+
+// WriteEvent writes one SSE frame: the event name and the JSON-encoded
+// payload.
+func WriteEvent(w io.Writer, event string, payload any) error {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("streamrisk: encoding %s event: %w", event, err)
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
+		return fmt.Errorf("streamrisk: writing %s event: %w", event, err)
+	}
+	return nil
+}
+
+// Event is one parsed SSE frame.
+type Event struct {
+	Event string
+	Data  []byte
+}
+
+// EventReader incrementally parses an SSE byte stream (the subset
+// WriteEvent produces, plus ":" comment lines).
+type EventReader struct {
+	sc *bufio.Scanner
+}
+
+// NewEventReader wraps an SSE response body.
+func NewEventReader(r io.Reader) *EventReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &EventReader{sc: sc}
+}
+
+// Next returns the next complete frame, or io.EOF when the stream ends
+// cleanly between frames.
+func (r *EventReader) Next() (Event, error) {
+	var ev Event
+	started := false
+	for r.sc.Scan() {
+		line := r.sc.Text()
+		switch {
+		case line == "":
+			if started {
+				return ev, nil
+			}
+		case strings.HasPrefix(line, "event: "):
+			ev.Event = strings.TrimPrefix(line, "event: ")
+			started = true
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = append(ev.Data, strings.TrimPrefix(line, "data: ")...)
+			started = true
+		case strings.HasPrefix(line, ":"):
+			// comment/heartbeat line, ignored
+		default:
+			return Event{}, fmt.Errorf("streamrisk: malformed SSE line %q", line)
+		}
+	}
+	if err := r.sc.Err(); err != nil {
+		return Event{}, err
+	}
+	if started {
+		return Event{}, fmt.Errorf("streamrisk: SSE stream truncated mid-frame")
+	}
+	return Event{}, io.EOF
+}
+
+// filter narrows what a subscriber sees to one session or one policy
+// (empty strings pass everything).
+type filter struct {
+	session, policy string
+}
+
+func filterFromQuery(r *http.Request) filter {
+	q := r.URL.Query()
+	return filter{session: q.Get("session"), policy: q.Get("policy")}
+}
+
+func (f filter) wantsDelta(d Delta) bool {
+	if f.session != "" && d.Session != f.session {
+		return false
+	}
+	if f.policy != "" && d.Policy != f.policy {
+		return false
+	}
+	return true
+}
+
+// apply narrows a snapshot's scope lists in place (the Global scores stay:
+// a per-session view still wants the store-wide context line).
+func (f filter) apply(snap Snapshot) Snapshot {
+	if f.session != "" {
+		var keep []SessionScopeScores
+		for _, s := range snap.Sessions {
+			if s.ID == f.session {
+				keep = append(keep, s)
+			}
+		}
+		snap.Sessions = keep
+	}
+	if f.policy != "" {
+		var keepP []ScopeScores
+		for _, p := range snap.Policies {
+			if p.Name == f.policy {
+				keepP = append(keepP, p)
+			}
+		}
+		snap.Policies = keepP
+		var keepS []SessionScopeScores
+		for _, s := range snap.Sessions {
+			if s.Policy == f.policy {
+				keepS = append(keepS, s)
+			}
+		}
+		snap.Sessions = keepS
+	}
+	return snap
+}
+
+// SnapshotHandler serves the pull view: the engine snapshot as JSON,
+// narrowed by optional ?session= / ?policy= query parameters. Mounted at
+// GET /v1/risk by riskserved and riskctl.
+func SnapshotHandler(e *Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap := filterFromQuery(r).apply(e.Snapshot())
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			// The header is gone; nothing to do but drop the connection.
+			return
+		}
+	}
+}
+
+// StreamHandler serves the SSE view: snapshot-on-subscribe, then deltas,
+// with a fresh resync snapshot whenever this subscriber's buffer dropped
+// deltas. Mounted at GET /v1/risk/stream. The handler holds no engine or
+// store locks while writing, so a slow or stalled consumer never blocks
+// admission — it just drops and resyncs.
+func StreamHandler(e *Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		sub, err := e.Subscribe()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		defer e.Unsubscribe(sub)
+
+		fil := filterFromQuery(r)
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+		if err := WriteEvent(w, EventSnapshot, fil.apply(sub.Snapshot())); err != nil {
+			return
+		}
+		fl.Flush()
+
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case d := <-sub.C():
+				if sub.TakeDropped() {
+					// Deltas were lost on our buffer; d may be stale relative
+					// to what was dropped. Re-anchor with a fresh snapshot.
+					if err := WriteEvent(w, EventResync, fil.apply(e.Snapshot())); err != nil {
+						return
+					}
+					fl.Flush()
+					continue
+				}
+				if !fil.wantsDelta(d) {
+					continue
+				}
+				if err := WriteEvent(w, EventDelta, d); err != nil {
+					return
+				}
+				fl.Flush()
+			}
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package streamrisk
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestWriteEventReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	d := Delta{Seq: 7, Kind: DeltaDecision, Session: "s-1", Policy: "Libra", Cluster: "commodity"}
+	if err := WriteEvent(&buf, EventDelta, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEvent(&buf, EventSnapshot, Snapshot{Seq: 7}); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(": heartbeat\n\n")
+
+	r := NewEventReader(&buf)
+	ev, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Event != EventDelta {
+		t.Fatalf("event = %q", ev.Event)
+	}
+	var got Delta
+	if err := json.Unmarshal(ev.Data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 7 || got.Session != "s-1" {
+		t.Fatalf("round-trip delta: %+v", got)
+	}
+	ev, err = r.Next()
+	if err != nil || ev.Event != EventSnapshot {
+		t.Fatalf("second frame: %+v, %v", ev, err)
+	}
+	if _, err = r.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF after comment-only tail, got %v", err)
+	}
+}
+
+func TestEventReaderMalformed(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"garbage line", "event: delta\nnonsense\n\n", "malformed SSE line"},
+		{"truncated mid-frame", "event: delta\ndata: {}\n", "truncated mid-frame"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewEventReader(strings.NewReader(tc.in))
+			var err error
+			for err == nil {
+				_, err = r.Next()
+			}
+			if errors.Is(err, io.EOF) || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func seededEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine(Config{Window: 4})
+	hA := testHeader("s-a", "Libra", "commodity")
+	hB := testHeader("s-b", "FCFS-BF", "bid")
+	e.JournalDecision(hA, dec(1, "accepted", 10, 100, 20, 100))
+	e.JournalDecision(hB, dec(1, "rejected", 10, 100, 0, 50))
+	e.JournalFinal(hA, metrics.Report{Submitted: 1, Accepted: 1})
+	return e
+}
+
+func TestSnapshotHandlerFilters(t *testing.T) {
+	e := seededEngine(t)
+	h := SnapshotHandler(e)
+
+	get := func(q string) Snapshot {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h(rec, httptest.NewRequest("GET", "/v1/risk"+q, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s: %d", q, rec.Code)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+			t.Fatalf("GET %s: %v", q, err)
+		}
+		return snap
+	}
+
+	full := get("")
+	if len(full.Sessions) != 2 || len(full.Policies) != 2 || full.Global.Events != 2 {
+		t.Fatalf("unfiltered snapshot: %+v", full)
+	}
+	bySession := get("?session=s-a")
+	if len(bySession.Sessions) != 1 || bySession.Sessions[0].ID != "s-a" {
+		t.Fatalf("session filter: %+v", bySession.Sessions)
+	}
+	if bySession.Global.Events != 2 {
+		t.Fatal("session filter must keep the global context line")
+	}
+	byPolicy := get("?policy=FCFS-BF")
+	if len(byPolicy.Policies) != 1 || byPolicy.Policies[0].Name != "FCFS-BF" {
+		t.Fatalf("policy filter: %+v", byPolicy.Policies)
+	}
+	if len(byPolicy.Sessions) != 1 || byPolicy.Sessions[0].ID != "s-b" {
+		t.Fatalf("policy filter sessions: %+v", byPolicy.Sessions)
+	}
+	if none := get("?session=nope"); len(none.Sessions) != 0 {
+		t.Fatalf("unknown session filter: %+v", none.Sessions)
+	}
+}
+
+// The stream handler over a real HTTP server: snapshot frame first, then
+// deltas for live events, honoring the policy filter.
+func TestStreamHandlerLive(t *testing.T) {
+	e := seededEngine(t)
+	srv := httptest.NewServer(StreamHandler(e))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"?policy=Libra", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	r := NewEventReader(resp.Body)
+	ev, err := r.Next()
+	if err != nil || ev.Event != EventSnapshot {
+		t.Fatalf("first frame: %+v, %v", ev, err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(ev.Data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Policies) != 1 || snap.Policies[0].Name != "Libra" {
+		t.Fatalf("filtered snapshot policies: %+v", snap.Policies)
+	}
+
+	// One event for another policy (filtered out), one for ours.
+	e.JournalDecision(testHeader("s-b", "FCFS-BF", "bid"), dec(2, "accepted", 10, 100, 5, 50))
+	e.JournalDecision(testHeader("s-a", "Libra", "commodity"), dec(2, "accepted", 10, 100, 30, 100))
+
+	ev, err = r.Next()
+	if err != nil || ev.Event != EventDelta {
+		t.Fatalf("delta frame: %+v, %v", ev, err)
+	}
+	var d Delta
+	if err := json.Unmarshal(ev.Data, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Policy != "Libra" || d.Seq <= snap.Seq {
+		t.Fatalf("delta: %+v (anchor seq %d)", d, snap.Seq)
+	}
+	cancel() // client walks away; handler unsubscribes
+}
+
+// A paused consumer on a tiny buffer gets a resync frame, not a wedged
+// engine: ingest completes regardless and the stream re-anchors.
+func TestStreamHandlerResyncAfterDrop(t *testing.T) {
+	e := NewEngine(Config{Window: 4, SubscriberBuffer: 1})
+	srv := httptest.NewServer(StreamHandler(e))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := NewEventReader(resp.Body)
+	if ev, err := r.Next(); err != nil || ev.Event != EventSnapshot {
+		t.Fatalf("first frame: %+v, %v", ev, err)
+	}
+
+	// Flood faster than the handler can write frames: the 1-slot buffer must
+	// drop at least once, and ingest must finish promptly either way.
+	h := testHeader("s-1", "Libra", "commodity")
+	job := 0
+	flood := func(n int) {
+		t.Helper()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < n; i++ {
+				job++
+				e.JournalDecision(h, dec(job, "accepted", 10, 100, 20, 100))
+			}
+		}()
+		select {
+		case <-done:
+		//lint:allow wallclock — liveness timeout for a real HTTP stream under test, not simulation time
+		case <-time.After(5 * time.Second):
+			t.Fatal("ingest blocked by a slow SSE consumer")
+		}
+	}
+	for tries := 0; e.Snapshot().Dropped == 0; tries++ {
+		if tries == 20 {
+			t.Fatal("could not provoke a dropped delta")
+		}
+		flood(2000)
+	}
+
+	// The dropped flag is sticky until the handler dequeues its next delta,
+	// so keep trickling events while watching the stream for the resync.
+	frames := make(chan Event, 64)
+	readErr := make(chan error, 1)
+	go func() {
+		for {
+			ev, err := r.Next()
+			if err != nil {
+				readErr <- err
+				return
+			}
+			frames <- ev
+		}
+	}()
+	deadline := time.After(8 * time.Second) //lint:allow wallclock — liveness deadline for a real HTTP stream under test
+	for {
+		select {
+		case ev := <-frames:
+			if ev.Event != EventResync {
+				continue
+			}
+			var snap Snapshot
+			if err := json.Unmarshal(ev.Data, &snap); err != nil {
+				t.Fatal(err)
+			}
+			if snap.Dropped == 0 {
+				t.Fatal("resync snapshot should report dropped deltas")
+			}
+			if snap.Global.Events == 0 {
+				t.Fatal("resync snapshot carries no state")
+			}
+			return
+		case err := <-readErr:
+			t.Fatalf("stream ended before resync: %v", err)
+		//lint:allow wallclock — real-time trickle pacing so the handler observes the sticky dropped flag
+		case <-time.After(20 * time.Millisecond):
+			job++
+			e.JournalDecision(h, dec(job, "accepted", 10, 100, 20, 100))
+		case <-deadline:
+			t.Fatal("no resync frame after dropped deltas")
+		}
+	}
+}
+
+func TestStreamHandlerSubscriberLimit(t *testing.T) {
+	e := NewEngine(Config{MaxSubscribers: 1})
+	sub, err := e.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Unsubscribe(sub)
+	rec := httptest.NewRecorder()
+	StreamHandler(e)(rec, httptest.NewRequest("GET", "/v1/risk/stream", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-limit subscribe: %d, want 503", rec.Code)
+	}
+}
+
+// noFlush hides httptest.ResponseRecorder's Flusher.
+type noFlush struct{ w http.ResponseWriter }
+
+func (n noFlush) Header() http.Header         { return n.w.Header() }
+func (n noFlush) Write(b []byte) (int, error) { return n.w.Write(b) }
+func (n noFlush) WriteHeader(code int)        { n.w.WriteHeader(code) }
+
+func TestStreamHandlerRequiresFlusher(t *testing.T) {
+	e := NewEngine(Config{})
+	rec := httptest.NewRecorder()
+	StreamHandler(e)(noFlush{rec}, httptest.NewRequest("GET", "/v1/risk/stream", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("non-flushing writer: %d, want 500", rec.Code)
+	}
+}
